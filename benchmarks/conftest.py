@@ -1,0 +1,22 @@
+"""Shared helper for the per-figure benchmark suite.
+
+Each benchmark regenerates one figure of the paper via
+:mod:`repro.bench.figures`, prints the reproduced table and asserts the
+paper's qualitative claims.  ``pytest benchmarks/ --benchmark-only`` runs
+them all; the printed tables are the reproduction artifacts.
+
+Some figures accept reduced parameters here so the whole suite stays in the
+minutes range; run ``python -m repro.bench`` for the (larger) defaults and
+see EXPERIMENTS.md for the paper-scale mapping.
+"""
+
+from __future__ import annotations
+
+
+def run_figure(benchmark, capsys, fn, **kwargs):
+    fig = benchmark.pedantic(lambda: fn(**kwargs), iterations=1, rounds=1)
+    with capsys.disabled():
+        print("\n" + fig.render() + "\n")
+    failed = [claim for claim, ok in fig.claims if not ok]
+    assert not failed, f"paper claims not reproduced: {failed}"
+    return fig

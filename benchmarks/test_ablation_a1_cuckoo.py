@@ -1,0 +1,9 @@
+"""Ablation A1: cuckoo hash-function count (paper Sec. III-C1, p=4)."""
+
+from conftest import run_figure
+
+from repro.bench.ablations import ablation_cuckoo_hashes
+
+
+def test_ablation_cuckoo_hashes(benchmark, capsys):
+    run_figure(benchmark, capsys, ablation_cuckoo_hashes)

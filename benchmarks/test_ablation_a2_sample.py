@@ -1,0 +1,9 @@
+"""Ablation A2: victim sample size M (paper Sec. III-D, M=16)."""
+
+from conftest import run_figure
+
+from repro.bench.ablations import ablation_sample_size
+
+
+def test_ablation_sample_size(benchmark, capsys):
+    run_figure(benchmark, capsys, ablation_sample_size)

@@ -1,0 +1,9 @@
+"""Ablation A3: bounded-eviction weak caching (paper Sec. III-D2)."""
+
+from conftest import run_figure
+
+from repro.bench.ablations import ablation_weak_caching
+
+
+def test_ablation_weak_caching(benchmark, capsys):
+    run_figure(benchmark, capsys, ablation_weak_caching)

@@ -1,0 +1,9 @@
+"""Ablation A4: best-fit vs first-fit storage allocation (Sec. III-C2)."""
+
+from conftest import run_figure
+
+from repro.bench.ablations import ablation_allocator_fit
+
+
+def test_ablation_allocator_fit(benchmark, capsys):
+    run_figure(benchmark, capsys, ablation_allocator_fit)

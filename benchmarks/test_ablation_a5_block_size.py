@@ -1,0 +1,9 @@
+"""Ablation A5: block-size dilemma of block-based caches (Fig. 3 story)."""
+
+from conftest import run_figure
+
+from repro.bench.ablations import ablation_native_block_size
+
+
+def test_ablation_native_block_size(benchmark, capsys):
+    run_figure(benchmark, capsys, ablation_native_block_size)

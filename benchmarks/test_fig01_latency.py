@@ -1,0 +1,9 @@
+"""Fig. 1: get latency per message size and process/node mapping."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig01_latency
+
+
+def test_fig01_latency(benchmark, capsys):
+    run_figure(benchmark, capsys, fig01_latency)

@@ -1,0 +1,9 @@
+"""Fig. 2: Barnes-Hut get-reuse histogram (paper: P=4, 4,000 bodies)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig02_reuse
+
+
+def test_fig02_reuse(benchmark, capsys):
+    run_figure(benchmark, capsys, fig02_reuse, nbodies=600, nprocs=4)

@@ -1,0 +1,9 @@
+"""Fig. 3: LCC get-size distribution (paper: R-MAT 2^16/2^20, 32 nodes)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig03_sizes
+
+
+def test_fig03_sizes(benchmark, capsys):
+    run_figure(benchmark, capsys, fig03_sizes, scale=10, nprocs=8)

@@ -1,0 +1,9 @@
+"""Fig. 7: CLaMPI caching costs per access type and data size."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig07_access_costs
+
+
+def test_fig07_access_costs(benchmark, capsys):
+    run_figure(benchmark, capsys, fig07_access_costs, z=10_000)

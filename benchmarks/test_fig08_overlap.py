@@ -1,0 +1,9 @@
+"""Fig. 8: communication/computation overlap per access type."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig08_overlap
+
+
+def test_fig08_overlap(benchmark, capsys):
+    run_figure(benchmark, capsys, fig08_overlap)

@@ -1,0 +1,9 @@
+"""Fig. 9: completion time vs hash-table size, fixed vs adaptive."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig09_adaptive
+
+
+def test_fig09_adaptive(benchmark, capsys):
+    run_figure(benchmark, capsys, fig09_adaptive)

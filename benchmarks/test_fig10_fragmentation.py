@@ -1,0 +1,9 @@
+"""Fig. 10: storage occupancy per victim-selection scheme (Z=100K in paper)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig10_fragmentation
+
+
+def test_fig10_fragmentation(benchmark, capsys):
+    run_figure(benchmark, capsys, fig10_fragmentation)

@@ -1,0 +1,9 @@
+"""Fig. 11: victim-selection study over the hash-table size (M=16)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig11_victim
+
+
+def test_fig11_victim(benchmark, capsys):
+    run_figure(benchmark, capsys, fig11_victim)

@@ -1,0 +1,9 @@
+"""Fig. 12: Barnes-Hut force time per body across cache configurations."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig12_bh_params
+
+
+def test_fig12_bh_params(benchmark, capsys):
+    run_figure(benchmark, capsys, fig12_bh_params, nbodies=1000, nprocs=8)

@@ -1,0 +1,9 @@
+"""Fig. 13: Barnes-Hut access-type statistics (fixed |S_w|)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig13_bh_stats
+
+
+def test_fig13_bh_stats(benchmark, capsys):
+    run_figure(benchmark, capsys, fig13_bh_stats, nbodies=1000, nprocs=8)

@@ -1,0 +1,9 @@
+"""Fig. 14: Barnes-Hut weak scaling (paper: 1.5K bodies/PE, P=16..128)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig14_bh_weak
+
+
+def test_fig14_bh_weak(benchmark, capsys):
+    run_figure(benchmark, capsys, fig14_bh_weak, bodies_per_pe=150, procs=[2, 4, 8])

@@ -1,0 +1,9 @@
+"""Fig. 15: LCC vertex time across cache configurations (paper: 2^20/2^24, P=32)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig15_lcc_params
+
+
+def test_fig15_lcc_params(benchmark, capsys):
+    run_figure(benchmark, capsys, fig15_lcc_params)

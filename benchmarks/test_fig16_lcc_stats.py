@@ -1,0 +1,9 @@
+"""Fig. 16: LCC CLaMPI statistics at the small storage size."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig16_lcc_stats
+
+
+def test_fig16_lcc_stats(benchmark, capsys):
+    run_figure(benchmark, capsys, fig16_lcc_stats)

@@ -1,0 +1,9 @@
+"""Fig. 17: LCC weak scaling (paper: |V|=P*2^15, EF=16, P=16..128)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig17_lcc_weak
+
+
+def test_fig17_lcc_weak(benchmark, capsys):
+    run_figure(benchmark, capsys, fig17_lcc_weak)

@@ -1,0 +1,9 @@
+"""Fig. 18: LCC weak-scaling access statistics (adaptive strategy)."""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig18_lcc_weak_stats
+
+
+def test_fig18_lcc_weak_stats(benchmark, capsys):
+    run_figure(benchmark, capsys, fig18_lcc_weak_stats)

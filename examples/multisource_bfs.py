@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Multi-source BFS: cache reuse *across* traversals.
+
+A single BFS touches each adjacency list roughly once, so there is little
+to cache.  Run BFS from many sources over the same (immutable) graph,
+though, and every traversal after the first re-fetches the same remote
+adjacency lists — an always-cache CLaMPI window turns those into local
+hits.  This example measures the per-source marginal cost as the number of
+sources grows.
+
+Run with:  python examples/multisource_bfs.py [scale] [nprocs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.bfs import BFSApp
+from repro.apps.cachespec import CacheSpec
+from repro.bench.reporting import format_table
+from repro.util import format_time
+
+
+def main():
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    app = BFSApp(scale=scale, edge_factor=8, seed=7)
+    footprint = app.csr.nedges * 8
+    print(
+        f"R-MAT 2^{scale} = {app.nvertices} vertices, {app.csr.nedges} edges, "
+        f"P={nprocs}\n"
+    )
+
+    # Sample sources among well-connected vertices so every traversal
+    # actually covers the giant component.
+    candidates = np.argsort(app.csr.degrees())[-64:]
+    rng = np.random.default_rng(0)
+    rows = []
+    for nsources in (1, 2, 4, 8):
+        sources = rng.choice(candidates, size=nsources, replace=False).tolist()
+        f = app.run(nprocs, sources, CacheSpec.fompi())
+        c = app.run(nprocs, sources, CacheSpec.clampi_fixed(4 * app.nvertices, footprint))
+        st = c.merged_stats()
+        hits = st["hit_full"] + st["hit_pending"] + st["hit_partial"]
+        rows.append(
+            [
+                nsources,
+                format_time(f.elapsed / nsources),
+                format_time(c.elapsed / nsources),
+                f"{f.elapsed / c.elapsed:.2f}x",
+                f"{hits / max(st['gets'], 1):.1%}",
+            ]
+        )
+        # all variants agree with the sequential reference
+        for i, s in enumerate(sources):
+            assert np.array_equal(c.distances[i], app.reference_bfs(s))
+    print(
+        format_table(
+            ["sources", "foMPI / source", "CLaMPI / source", "speedup", "hit ratio"],
+            rows,
+        )
+    )
+    print(
+        "\nThe marginal cost per source drops as the cache warms: later"
+        "\ntraversals are served from local memory (distances verified"
+        "\nagainst a sequential reference)."
+    )
+
+
+if __name__ == "__main__":
+    main()

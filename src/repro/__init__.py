@@ -1,0 +1,31 @@
+"""CLaMPI reproduction: transparent caching for (simulated) MPI-3 RMA.
+
+Reproduction of Di Girolamo, Vella, Hoefler, *Transparent Caching for RMA
+Systems* (IPDPS 2017).  The package layers the paper's caching library —
+CLaMPI, in :mod:`repro.core` — on top of a from-scratch simulated MPI-3 RMA
+substrate (:mod:`repro.mpi` over :mod:`repro.runtime` and :mod:`repro.net`),
+and ships the paper's applications (:mod:`repro.apps`), baselines
+(:mod:`repro.baselines`) and the full benchmark harness (:mod:`repro.bench`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import clampi
+    from repro.mpi import SimMPI
+
+    def program(mpi):
+        win = clampi.window_allocate(mpi.comm_world, 1 << 16,
+                                     mode=clampi.Mode.ALWAYS_CACHE)
+        win.lock_all()
+        buf = np.empty(128, np.uint8)
+        win.get(buf, target_rank=(mpi.rank + 1) % mpi.size, target_disp=0)
+        win.flush((mpi.rank + 1) % mpi.size)   # first time: remote get
+        win.get(buf, target_rank=(mpi.rank + 1) % mpi.size, target_disp=0)
+        win.flush((mpi.rank + 1) % mpi.size)   # now: served from cache
+        win.unlock_all()
+        return win.stats.snapshot()
+
+    stats = SimMPI(nprocs=4).run(program)
+"""
+
+__version__ = "1.0.0"

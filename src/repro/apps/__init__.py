@@ -1,0 +1,30 @@
+"""The paper's applications, implemented over the simulated RMA substrate.
+
+* :mod:`repro.apps.lcc` — distributed Local Clustering Coefficient over
+  1-D-partitioned R-MAT graphs (paper Sec. IV-C), with CLaMPI in
+  *always-cache* mode.
+* :mod:`repro.apps.barnes_hut` — Barnes-Hut N-body force computation over a
+  distributed octree (paper Sec. IV-B), with CLaMPI in *user-defined* mode
+  (invalidate after every force phase).
+* :mod:`repro.apps.bfs` — multi-source BFS (extension beyond the paper):
+  reuse *across* traversals of an immutable graph, in *always-cache* mode.
+* :mod:`repro.apps.cachespec` — one switch selecting the window flavour
+  (CLaMPI fixed/adaptive, native block cache, or plain foMPI-style window)
+  so the same application code runs all the paper's configurations.
+"""
+
+from repro.apps.cachespec import CacheKind, CacheSpec
+from repro.apps.barnes_hut import BarnesHutApp, BHRunResult
+from repro.apps.bfs import BFSApp, BFSRunResult
+from repro.apps.lcc import LCCApp, LCCRunResult
+
+__all__ = [
+    "BFSApp",
+    "BFSRunResult",
+    "BHRunResult",
+    "BarnesHutApp",
+    "CacheKind",
+    "CacheSpec",
+    "LCCApp",
+    "LCCRunResult",
+]

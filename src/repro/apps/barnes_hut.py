@@ -1,0 +1,341 @@
+"""Barnes-Hut N-body force computation over a distributed octree
+(paper Sec. IV-B).
+
+The Barnes-Hut algorithm (O(N log N)) organises bodies into an octree whose
+inner nodes carry the centre of mass of their subtree.  The force phase
+visits the tree top-down per body: a cell that is "far enough" (opening
+criterion ``size / distance < theta``) contributes through its centre of
+mass; otherwise its children are visited recursively.
+
+Distribution follows the Global-Trees style of Larkins et al. (the paper's
+reference implementation): the packed node array is block-partitioned in
+DFS order over the ranks' RMA windows; every node visit that lands on a
+remote block is a one-sided get of one fixed-size node record.  During the
+force phase the tree is read-only, so CLaMPI runs in *user-defined* mode
+and the cache is invalidated after each force phase (paper Listing 1).
+
+Node record layout (16 float64 = 128 bytes, cache-line aligned)::
+
+    [0:3]  centre of mass (or body position at leaves)
+    [3]    mass
+    [4]    cell size (side length)
+    [5]    number of children (0 for leaves)
+    [6]    body id at leaves (-1 otherwise)
+    [7]    padding
+    [8:16] child node ids (-1 padded)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.cachespec import CacheSpec, cache_stats_of
+from repro.graph.partition import BlockPartition
+from repro.mpi.simmpi import MPIProcess, SimMPI
+from repro.net import PerfModel
+from repro.trace import TraceRecorder
+from repro import clampi
+
+NODE_FLOATS = 16
+NODE_BYTES = NODE_FLOATS * 8
+
+#: CPU cost of one body-cell interaction (a handful of flops).
+INTERACTION_TIME = 25e-9
+#: CPU cost of deciding whether to open a cell.
+VISIT_TIME = 8e-9
+
+
+# ----------------------------------------------------------------------
+# Octree construction (sequential, shared by all simulated ranks)
+# ----------------------------------------------------------------------
+class Octree:
+    """A packed octree over 3-D bodies."""
+
+    def __init__(self, nodes: np.ndarray, root: int, nbodies: int):
+        self.nodes = nodes        #: (nnodes, NODE_FLOATS) float64
+        self.root = root
+        self.nbodies = nbodies
+
+    @property
+    def nnodes(self) -> int:
+        return self.nodes.shape[0]
+
+    @classmethod
+    def build(cls, pos: np.ndarray, mass: np.ndarray) -> "Octree":
+        """Build from body positions (n, 3) and masses (n,)."""
+        n = pos.shape[0]
+        if n == 0:
+            raise ValueError("cannot build a tree over zero bodies")
+        lo = pos.min(axis=0)
+        hi = pos.max(axis=0)
+        centre = (lo + hi) / 2.0
+        size = float(max(np.max(hi - lo), 1e-12))
+        records: list[np.ndarray] = []
+
+        def new_record() -> int:
+            records.append(np.zeros(NODE_FLOATS))
+            records[-1][8:16] = -1.0
+            return len(records) - 1
+
+        def build_cell(idx_bodies: np.ndarray, centre: np.ndarray, size: float) -> int:
+            me = new_record()
+            rec = records[me]
+            if idx_bodies.size == 1:
+                b = int(idx_bodies[0])
+                rec[0:3] = pos[b]
+                rec[3] = mass[b]
+                rec[4] = size
+                rec[5] = 0.0
+                rec[6] = float(b)
+                return me
+            # Partition bodies into octants.
+            p = pos[idx_bodies]
+            octant = (
+                (p[:, 0] > centre[0]).astype(np.int64)
+                | ((p[:, 1] > centre[1]).astype(np.int64) << 1)
+                | ((p[:, 2] > centre[2]).astype(np.int64) << 2)
+            )
+            total_mass = float(mass[idx_bodies].sum())
+            com = (pos[idx_bodies] * mass[idx_bodies, None]).sum(axis=0) / total_mass
+            rec[0:3] = com
+            rec[3] = total_mass
+            rec[4] = size
+            rec[6] = -1.0
+            nchildren = 0
+            half = size / 4.0
+            for o in range(8):
+                sel = idx_bodies[octant == o]
+                if sel.size == 0:
+                    continue
+                offs = np.array(
+                    [half if o & 1 else -half,
+                     half if o & 2 else -half,
+                     half if o & 4 else -half]
+                )
+                child = build_cell(sel, centre + offs, size / 2.0)
+                # ``records`` may have grown; re-fetch our record.
+                records[me][8 + nchildren] = float(child)
+                nchildren += 1
+            records[me][5] = float(nchildren)
+            return me
+
+        root = build_cell(np.arange(n), centre, size)
+        return cls(np.vstack(records), root, n)
+
+
+def morton_order(pos: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Sort order of bodies along a Morton (Z-order) curve.
+
+    Used to assign spatially-close bodies to the same rank, like the
+    space-filling-curve partitioning of the reference UPC implementation.
+    """
+    lo = pos.min(axis=0)
+    hi = pos.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    q = ((pos - lo) / span * ((1 << bits) - 1)).astype(np.uint64)
+
+    def spread(x: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(x)
+        for b in range(bits):
+            out |= ((x >> np.uint64(b)) & np.uint64(1)) << np.uint64(3 * b)
+        return out
+
+    keys = spread(q[:, 0]) | (spread(q[:, 1]) << np.uint64(1)) | (
+        spread(q[:, 2]) << np.uint64(2)
+    )
+    return np.argsort(keys, kind="stable")
+
+
+# ----------------------------------------------------------------------
+# Distributed force computation
+# ----------------------------------------------------------------------
+@dataclass
+class BHRunResult:
+    """Outcome of one distributed Barnes-Hut force phase."""
+
+    nprocs: int
+    label: str
+    elapsed: float                 #: virtual force-phase makespan (seconds)
+    rank_times: list[float]
+    time_per_body: float           #: elapsed / max local bodies
+    forces: np.ndarray             #: (n, 3) accelerations-times-mass
+    cache_stats: list[dict] = field(default_factory=list)
+    traces: list[TraceRecorder] = field(default_factory=list)
+
+    def merged_stats(self) -> dict[str, float]:
+        if not self.cache_stats or not self.cache_stats[0]:
+            return {}
+        return {
+            k: sum(s.get(k, 0) for s in self.cache_stats)
+            for k in self.cache_stats[0]
+        }
+
+    def max_stat(self, key: str) -> float:
+        """Maximum of one counter over ranks (e.g. per-rank adjustments)."""
+        return max((s.get(key, 0) for s in self.cache_stats), default=0)
+
+
+class BarnesHutApp:
+    """One N-body instance, runnable under any cache configuration."""
+
+    def __init__(self, nbodies: int, seed: int = 1, theta: float = 0.5):
+        if nbodies < 2:
+            raise ValueError("need at least 2 bodies")
+        rng = np.random.default_rng(seed)
+        # Plummer-ish clustered distribution: denser core, sparse halo.
+        r = rng.power(2.5, nbodies)
+        phi = rng.uniform(0, 2 * np.pi, nbodies)
+        costh = rng.uniform(-1, 1, nbodies)
+        sinth = np.sqrt(1 - costh**2)
+        self.pos = np.column_stack(
+            [r * sinth * np.cos(phi), r * sinth * np.sin(phi), r * costh]
+        )
+        self.mass = rng.uniform(0.5, 1.5, nbodies)
+        self.theta = theta
+        self.nbodies = nbodies
+        order = morton_order(self.pos)
+        self.pos = self.pos[order]
+        self.mass = self.mass[order]
+        self.tree = Octree.build(self.pos, self.mass)
+
+    # ------------------------------------------------------------------
+    def reference_forces(self, eps: float = 1e-3) -> np.ndarray:
+        """Exact O(N^2) force computation (ground truth for tests)."""
+        n = self.nbodies
+        forces = np.zeros((n, 3))
+        for i in range(n):
+            d = self.pos - self.pos[i]
+            r2 = (d**2).sum(axis=1) + eps**2
+            r2[i] = np.inf
+            f = (self.mass * self.mass[i] / (r2 * np.sqrt(r2)))[:, None] * d
+            forces[i] = f.sum(axis=0)
+        return forces
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        nprocs: int,
+        spec: CacheSpec | None = None,
+        trace: bool = False,
+        perf: PerfModel | None = None,
+        eps: float = 1e-3,
+    ) -> BHRunResult:
+        """Run the distributed force phase on ``nprocs`` ranks."""
+        spec = spec or CacheSpec.fompi()
+        if spec.kind.value == "clampi":
+            spec = spec.with_mode(clampi.Mode.USER_DEFINED)
+        mpi = SimMPI(nprocs=nprocs, perf=perf or PerfModel.spread(nprocs))
+        results = mpi.run(
+            _bh_rank_program, self.tree, self.pos, self.mass, self.theta, spec,
+            trace, eps,
+        )
+        forces = np.zeros((self.nbodies, 3))
+        rank_times: list[float] = []
+        stats: list[dict] = []
+        traces: list[TraceRecorder] = []
+        max_local = 1
+        for lo, hi, f, phase_time, st, rec in results:
+            forces[lo:hi] = f
+            rank_times.append(phase_time)
+            stats.append(st)
+            if rec is not None:
+                traces.append(rec)
+            max_local = max(max_local, hi - lo)
+        return BHRunResult(
+            nprocs=nprocs,
+            label=spec.label,
+            elapsed=max(rank_times),
+            rank_times=rank_times,
+            time_per_body=max(rank_times) / max_local,
+            forces=forces,
+            cache_stats=stats,
+            traces=traces,
+        )
+
+
+def _bh_rank_program(
+    mpi: MPIProcess,
+    tree: Octree,
+    pos: np.ndarray,
+    mass: np.ndarray,
+    theta: float,
+    spec: CacheSpec,
+    trace: bool,
+    eps: float,
+):
+    recorder = TraceRecorder() if trace else None
+    node_part = BlockPartition(tree.nnodes, mpi.size)
+    nlo, nhi = node_part.range_of(mpi.rank)
+    local_nodes = np.ascontiguousarray(tree.nodes[nlo:nhi]).reshape(-1)
+    win = spec.make_window(mpi.comm_world, local_nodes.view(np.uint8), recorder)
+
+    body_part = BlockPartition(tree.nbodies, mpi.size)
+    blo, bhi = body_part.range_of(mpi.rank)
+    mpi.comm_world.barrier()
+
+    node_buf = np.empty(NODE_FLOATS, dtype=np.float64)
+    blk = node_part.block  # hoisted: fetch_node runs millions of times
+
+    def fetch_node(node_id: int) -> np.ndarray:
+        owner = node_id // blk
+        local = node_id - owner * blk
+        if owner == mpi.rank:
+            start = local * NODE_FLOATS
+            return local_nodes[start : start + NODE_FLOATS]
+        win.get(node_buf, owner, local * NODE_BYTES)
+        win.flush(owner)
+        return node_buf
+
+    t0 = mpi.time
+    win.lock_all()
+    eps2 = eps * eps
+    theta2 = theta * theta
+    sqrt = math.sqrt
+    advance = mpi.proc.advance  # bypass the compute() wrapper in the hot loop
+    forces = np.zeros((bhi - blo, 3))
+    for b in range(blo, bhi):
+        pbx, pby, pbz = pos[b]
+        mb = float(mass[b])
+        ax = ay = az = 0.0
+        stack = [tree.root]
+        visits = 0
+        interactions = 0
+        while stack:
+            rec = fetch_node(stack.pop())
+            visits += 1
+            nchildren = int(rec[5])
+            dx = rec[0] - pbx
+            dy = rec[1] - pby
+            dz = rec[2] - pbz
+            r2 = dx * dx + dy * dy + dz * dz + eps2
+            if nchildren == 0:
+                if int(rec[6]) == b:
+                    continue  # the body itself
+                f = mb * rec[3] / (r2 * sqrt(r2))
+                ax += f * dx
+                ay += f * dy
+                az += f * dz
+                interactions += 1
+            elif rec[4] * rec[4] < theta2 * r2:
+                # size/dist < theta: far enough, use the centre of mass
+                f = mb * rec[3] / (r2 * sqrt(r2))
+                ax += f * dx
+                ay += f * dy
+                az += f * dz
+                interactions += 1
+            else:
+                for c in range(nchildren):
+                    stack.append(int(rec[8 + c]))
+        advance(visits * VISIT_TIME + interactions * INTERACTION_TIME)
+        forces[b - blo, 0] = ax
+        forces[b - blo, 1] = ay
+        forces[b - blo, 2] = az
+    if hasattr(win, "invalidate"):
+        win.invalidate()  # paper Listing 1: invalidate before the epoch ends
+    win.unlock_all()
+    phase_time = mpi.time - t0
+
+    return blo, bhi, forces, phase_time, cache_stats_of(win), recorder

@@ -1,0 +1,27 @@
+"""Benchmark harness: workloads, measurement and figure regeneration.
+
+* :mod:`repro.bench.micro` — the Sec. IV-A micro-benchmark workload
+  (N distinct gets with power-of-two sizes, Z normally-sampled repeats)
+  plus a per-get classifying runner.
+* :mod:`repro.bench.overlap` — the communication/computation overlap
+  methodology of Fig. 8.
+* :mod:`repro.bench.figures` — one entry point per paper figure; each
+  returns a :class:`~repro.bench.reporting.FigureResult` with the same
+  rows/series the paper plots.  ``python -m repro.bench`` regenerates all
+  of them.
+* :mod:`repro.bench.reporting` — ASCII table rendering shared by the
+  pytest benchmarks and the CLI.
+"""
+
+from repro.bench.micro import MicroWorkload, make_micro_workload, run_micro
+from repro.bench.overlap import measure_overlap_curve
+from repro.bench.reporting import FigureResult, format_table
+
+__all__ = [
+    "FigureResult",
+    "MicroWorkload",
+    "format_table",
+    "make_micro_workload",
+    "measure_overlap_curve",
+    "run_micro",
+]

@@ -1,0 +1,132 @@
+"""Terminal (ASCII) charts for benchmark figures.
+
+The paper's evaluation is all line charts and histograms; this module
+renders the reproduced series directly in the terminal so
+``python -m repro.bench --chart`` gives a visual impression without any
+plotting dependency.
+
+* :func:`line_chart` — multi-series scatter/line plot on a character grid,
+  with optional log-scaled axes (most paper figures are log-x).
+* :func:`bar_chart` — horizontal bars (for the histogram figures 2/3 and
+  the stats breakdowns).
+* :func:`sparkline` — a one-line trend (used in notes).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+_MARKERS = "*+ox#@%&"
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    """Map ``value`` in [lo, hi] to a cell index in [0, steps-1]."""
+    if log:
+        value, lo, hi = (math.log10(max(v, 1e-300)) for v in (value, lo, hi))
+    if hi <= lo:
+        return 0
+    t = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, int(round(t * (steps - 1)))))
+
+
+def _fmt_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def line_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a distinct marker; collisions show the later series.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(ys), max(ys)
+    if logy:
+        ylo = max(ylo, min((y for y in ys if y > 0), default=1e-12))
+    if logx:
+        xlo = max(xlo, min((x for x in xs if x > 0), default=1e-12))
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        for x, y in pts:
+            col = _scale(x, xlo, xhi, width, logx)
+            row = height - 1 - _scale(y, ylo, yhi, height, logy)
+            grid[row][col] = marker
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    ytop, ybot = _fmt_tick(yhi), _fmt_tick(ylo)
+    pad = max(len(ytop), len(ybot))
+    for r, row in enumerate(grid):
+        label = ytop if r == 0 else (ybot if r == height - 1 else "")
+        out.append(f"{label:>{pad}} |" + "".join(row))
+    out.append(" " * pad + " +" + "-" * width)
+    xleft, xright = _fmt_tick(xlo), _fmt_tick(xhi)
+    gap = max(1, width - len(xleft) - len(xright))
+    out.append(" " * (pad + 2) + xleft + " " * gap + xright)
+    axes = []
+    if xlabel:
+        axes.append(f"x: {xlabel}" + (" (log)" if logx else ""))
+    if ylabel:
+        axes.append(f"y: {ylabel}" + (" (log)" if logy else ""))
+    if axes:
+        out.append(" " * (pad + 2) + "   ".join(axes))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    out.append(" " * (pad + 2) + legend)
+    return "\n".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with value annotations."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not labels:
+        return "(no data)"
+    vmax = max(max(values), 1e-300)
+    lpad = max(len(str(l)) for l in labels)
+    out = [title] if title else []
+    for label, value in zip(labels, values):
+        n = int(round(width * value / vmax)) if value > 0 else 0
+        out.append(f"{str(label):>{lpad}} |{'█' * n}{'' if n else ''} {_fmt_tick(value)}")
+    return "\n".join(out)
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """One-line block-character trend of a numeric sequence."""
+    vals = list(values)
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _BLOCKS[4] * len(vals)
+    return "".join(
+        _BLOCKS[1 + _scale(v, lo, hi, len(_BLOCKS) - 1, False)] for v in vals
+    )

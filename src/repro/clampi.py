@@ -1,0 +1,103 @@
+"""Public CLaMPI facade — the user-facing API of the caching library.
+
+Mirrors how the paper's library is used from C:
+
+===========================  =========================================
+Paper / MPI                  This module
+===========================  =========================================
+``MPI_Win_allocate`` + info  :func:`window_allocate` (``mode=...``)
+``MPI_Win_create`` + info    :func:`window_create`
+cache-enabling a window      :func:`wrap`
+``CLAMPI_Invalidate(win)``   :func:`invalidate`
+info key ``clampi_mode``     :data:`INFO_MODE_KEY`
+===========================  =========================================
+
+Example (user-defined mode, paper Listing 1)::
+
+    win = clampi.window_allocate(comm, nbytes, mode=clampi.Mode.USER_DEFINED)
+    win.lock(peer)
+    while not terminate:
+        win.get(lbuf1, peer, off1)
+        win.get(lbuf2, peer, off2)
+        win.flush(peer)                 # closes epoch
+        terminate = computation(lbuf1, lbuf2)
+    clampi.invalidate(win)
+    win.unlock(peer)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.config import INFO_MODE_KEY, AdaptiveParams, Config, EvictionPolicy, Mode
+from repro.core.stats import AccessType, CacheStats
+from repro.core.window import CachedWindow
+from repro.mpi.comm import Communicator
+from repro.mpi.window import Window
+
+__all__ = [
+    "AccessType",
+    "AdaptiveParams",
+    "CacheStats",
+    "CachedWindow",
+    "Config",
+    "EvictionPolicy",
+    "INFO_MODE_KEY",
+    "Mode",
+    "invalidate",
+    "window_allocate",
+    "window_create",
+    "wrap",
+]
+
+
+def _merge(config: Config | None, mode: Mode | None) -> Config:
+    cfg = config or Config()
+    if mode is not None:
+        cfg = replace(cfg, mode=mode)
+    return cfg
+
+
+def window_allocate(
+    comm: Communicator,
+    nbytes: int,
+    disp_unit: int = 1,
+    mode: Mode | None = None,
+    config: Config | None = None,
+    info: Mapping[str, Any] | None = None,
+) -> CachedWindow:
+    """Collectively allocate a caching-enabled window.
+
+    ``mode`` overrides ``config.mode``; an explicit ``clampi_mode`` info key
+    overrides both (it is the MPI-standard-compatible channel of Sec. III-A).
+    """
+    win = Window.allocate(comm, nbytes, disp_unit=disp_unit, info=info)
+    return CachedWindow(win, _merge(config, mode))
+
+
+def window_create(
+    comm: Communicator,
+    buffer: np.ndarray,
+    disp_unit: int = 1,
+    mode: Mode | None = None,
+    config: Config | None = None,
+    info: Mapping[str, Any] | None = None,
+) -> CachedWindow:
+    """Collectively cache-enable a window over an existing local buffer."""
+    win = Window.create(comm, buffer, disp_unit=disp_unit, info=info)
+    return CachedWindow(win, _merge(config, mode))
+
+
+def wrap(
+    window: Window, mode: Mode | None = None, config: Config | None = None
+) -> CachedWindow:
+    """Cache-enable an already-created plain window (local operation)."""
+    return CachedWindow(window, _merge(config, mode))
+
+
+def invalidate(window: CachedWindow) -> None:
+    """``CLAMPI_Invalidate``: drop all cached entries of ``window``."""
+    window.invalidate()

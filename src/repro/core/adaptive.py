@@ -1,0 +1,99 @@
+"""Adaptive parameter selection (paper Sec. III-E1).
+
+Every ``check_interval`` gets the controller inspects the interval counters
+and may resize the structures; any resize invalidates the cache:
+
+* ``conflicting / total_gets > conflict_threshold`` → grow ``|I_w|`` by
+  ``index_increase_factor`` (the index is too small for the working set);
+* eviction sparsity ``q = nonempty_visited / visited < sparsity_threshold``
+  → shrink ``|I_w|`` by ``index_decrease_factor`` (a sparse index degrades
+  victim-selection quality);
+* ``(capacity + failed) / total_gets > capacity_threshold`` → grow
+  ``|S_w|`` by ``memory_increase_factor``;
+* working set stable (``hits / total_gets > stable_threshold``) *and* free
+  space above ``free_space_threshold`` → shrink ``|S_w|`` by
+  ``memory_decrease_factor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AdaptiveParams
+from repro.core.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class Adjustment:
+    """A decided resize; ``reason`` is a short diagnostic tag."""
+
+    index_entries: int
+    storage_bytes: int
+    reason: str
+
+
+class AdaptiveController:
+    """Decides |I_w| / |S_w| resizes from interval statistics."""
+
+    def __init__(self, params: AdaptiveParams):
+        self.params = params
+
+    def evaluate(
+        self,
+        stats: CacheStats,
+        index_entries: int,
+        storage_bytes: int,
+        free_bytes: int,
+    ) -> Adjustment | None:
+        """Return an :class:`Adjustment` or None; caller resets the interval.
+
+        Must only be called once ``stats.interval.gets >= check_interval``.
+        """
+        p = self.params
+        itv = stats.interval
+        reasons: list[str] = []
+        new_index = index_entries
+        new_storage = storage_bytes
+
+        # -- index ------------------------------------------------------
+        if itv.conflict_ratio > p.conflict_threshold:
+            new_index = min(
+                p.max_index_entries, int(index_entries * p.index_increase_factor)
+            )
+            if new_index != index_entries:
+                reasons.append(f"conflicts {itv.conflict_ratio:.2f} -> grow index")
+        elif itv.eviction_visited > 0:
+            q = itv.eviction_nonempty / itv.eviction_visited
+            if q < p.sparsity_threshold:
+                new_index = max(
+                    p.min_index_entries, int(index_entries / p.index_decrease_factor)
+                )
+                if new_index != index_entries:
+                    reasons.append(f"sparsity q={q:.2f} -> shrink index")
+
+        # -- storage ----------------------------------------------------
+        if itv.capacity_failed_ratio > p.capacity_threshold:
+            new_storage = min(
+                p.max_storage_bytes, int(storage_bytes * p.memory_increase_factor)
+            )
+            if new_storage != storage_bytes:
+                reasons.append(
+                    f"capacity/failed {itv.capacity_failed_ratio:.2f} -> grow storage"
+                )
+        elif (
+            itv.hit_ratio > p.stable_threshold
+            and storage_bytes > 0
+            and free_bytes / storage_bytes > p.free_space_threshold
+        ):
+            new_storage = max(
+                p.min_storage_bytes, int(storage_bytes / p.memory_decrease_factor)
+            )
+            if new_storage != storage_bytes:
+                reasons.append(
+                    f"stable hits {itv.hit_ratio:.2f}, free "
+                    f"{free_bytes / storage_bytes:.2f} -> shrink storage"
+                )
+
+        if new_index == index_entries and new_storage == storage_bytes:
+            return None
+        return Adjustment(new_index, new_storage, "; ".join(reasons))

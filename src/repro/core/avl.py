@@ -1,0 +1,227 @@
+"""Size-keyed AVL tree over free storage regions (paper Sec. III-C2).
+
+"Free memory regions are indexed with an AVL tree, using their sizes as
+indexes: the search of a free region requires O(log N) time ... new
+allocations are served with a best-fit policy."
+
+Keys are ``(size, offset)`` pairs — the offset disambiguates equal sizes and
+makes every key unique.  The allocator's best-fit query is
+:meth:`AVLTree.ceiling`: the smallest key ``>= (want, 0)``, i.e. the
+*smallest sufficiently large* free region (ties broken by lowest offset).
+
+Each mutating/searching call returns the number of nodes it visited so the
+storage layer can charge ``avl_step_time`` per step to the virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+Key = tuple[int, int]
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Key, value: Any):
+        self.key = key
+        self.value = value
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.height = 1
+
+
+def _h(n: _Node | None) -> int:
+    return n.height if n else 0
+
+
+def _update(n: _Node) -> None:
+    n.height = 1 + max(_h(n.left), _h(n.right))
+
+
+def _balance(n: _Node) -> int:
+    return _h(n.left) - _h(n.right)
+
+
+def _rot_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rot_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(n: _Node) -> _Node:
+    _update(n)
+    bal = _balance(n)
+    if bal > 1:
+        assert n.left is not None
+        if _balance(n.left) < 0:
+            n.left = _rot_left(n.left)
+        return _rot_right(n)
+    if bal < -1:
+        assert n.right is not None
+        if _balance(n.right) > 0:
+            n.right = _rot_right(n.right)
+        return _rot_left(n)
+    return n
+
+
+class AVLTree:
+    """Self-balancing BST with best-fit (ceiling) queries and step counting."""
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: Any) -> int:
+        """Insert a unique key; returns nodes visited."""
+        steps = 0
+
+        def rec(node: _Node | None) -> _Node:
+            nonlocal steps
+            steps += 1
+            if node is None:
+                return _Node(key, value)
+            if key < node.key:
+                node.left = rec(node.left)
+            elif key > node.key:
+                node.right = rec(node.right)
+            else:
+                raise KeyError(f"duplicate key {key}")
+            return _rebalance(node)
+
+        self._root = rec(self._root)
+        self._size += 1
+        return steps
+
+    def remove(self, key: Key) -> int:
+        """Remove an existing key; returns nodes visited."""
+        steps = 0
+
+        def rec(node: _Node | None) -> _Node | None:
+            nonlocal steps
+            steps += 1
+            if node is None:
+                raise KeyError(f"key {key} not in tree")
+            if key < node.key:
+                node.left = rec(node.left)
+            elif key > node.key:
+                node.right = rec(node.right)
+            else:
+                if node.left is None:
+                    return node.right
+                if node.right is None:
+                    return node.left
+                # Replace with in-order successor.
+                succ = node.right
+                while succ.left is not None:
+                    steps += 1
+                    succ = succ.left
+                node.key, node.value = succ.key, succ.value
+                key2 = succ.key
+
+                def rec2(n: _Node | None) -> _Node | None:
+                    nonlocal steps
+                    steps += 1
+                    assert n is not None
+                    if key2 < n.key:
+                        n.left = rec2(n.left)
+                    elif key2 > n.key:
+                        n.right = rec2(n.right)
+                    else:
+                        if n.left is None:
+                            return n.right
+                        if n.right is None:
+                            return n.left
+                        raise AssertionError("successor has two children")
+                    return _rebalance(n)
+
+                node.right = rec2(node.right)
+            return _rebalance(node)
+
+        self._root = rec(self._root)
+        self._size -= 1
+        return steps
+
+    def ceiling(self, min_size: int) -> tuple[Key | None, Any, int]:
+        """Best fit: smallest key ``>= (min_size, 0)``.
+
+        Returns ``(key, value, steps)``; key is None when nothing fits.
+        """
+        target: Key = (min_size, -1)
+        best: _Node | None = None
+        node = self._root
+        steps = 0
+        while node is not None:
+            steps += 1
+            if node.key > target:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        if best is None:
+            return None, None, steps
+        return best.key, best.value, steps
+
+    def contains(self, key: Key) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """In-order (sorted) iteration."""
+
+        def rec(node: _Node | None) -> Iterator[tuple[Key, Any]]:
+            if node is None:
+                return
+            yield from rec(node.left)
+            yield node.key, node.value
+            yield from rec(node.right)
+
+        yield from rec(self._root)
+
+    # -- invariants, used by the property-based tests -------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the tree is unbalanced or mis-ordered."""
+
+        def rec(node: _Node | None) -> tuple[int, Key | None, Key | None]:
+            if node is None:
+                return 0, None, None
+            lh, lmin, lmax = rec(node.left)
+            rh, rmin, rmax = rec(node.right)
+            assert abs(lh - rh) <= 1, f"unbalanced at {node.key}"
+            assert node.height == 1 + max(lh, rh), f"bad height at {node.key}"
+            if lmax is not None:
+                assert lmax < node.key, f"order violation at {node.key}"
+            if rmin is not None:
+                assert rmin > node.key, f"order violation at {node.key}"
+            lo = lmin if lmin is not None else node.key
+            hi = rmax if rmax is not None else node.key
+            return node.height, lo, hi
+
+        rec(self._root)
+        assert self._size == sum(1 for _ in self.items())

@@ -1,0 +1,123 @@
+"""CLaMPI configuration: operational modes, eviction policies, parameters.
+
+``Mode`` mirrors the paper's three strategies (Sec. III-A):
+
+* ``TRANSPARENT`` — every window is caching-enabled with zero code changes;
+  because nothing is known about write accesses, the cache is invalidated at
+  every epoch closure (only intra-epoch reuse is exploited).
+* ``ALWAYS_CACHE`` — the window is read-only for its whole lifespan (e.g.
+  static graphs); no automatic invalidation ever happens.
+* ``USER_DEFINED`` — like ALWAYS_CACHE but the application brackets
+  read-only phases and calls ``invalidate()`` (CLAMPI_Invalidate) when a
+  phase ends (e.g. Barnes-Hut between force-computation steps).
+
+``EvictionPolicy`` selects the victim score of Sec. III-D1: the full
+``R = R_P x R_T`` (default), or the single-factor ``TEMPORAL`` (LRU-like) /
+``POSITIONAL`` ablations evaluated in Figs. 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.util import KiB, MiB
+
+#: MPI_Info key used to enable caching at window creation (Sec. III-A).
+INFO_MODE_KEY = "clampi_mode"
+
+
+class Mode(Enum):
+    TRANSPARENT = "transparent"
+    ALWAYS_CACHE = "always_cache"
+    USER_DEFINED = "user_defined"
+
+
+class EvictionPolicy(Enum):
+    FULL = "full"              #: R = R_P * R_T (paper default)
+    TEMPORAL = "temporal"      #: LRU-like, R = R_T
+    POSITIONAL = "positional"  #: fragmentation-only, R = R_P
+
+
+@dataclass(frozen=True)
+class AdaptiveParams:
+    """Thresholds and factors of the adaptive strategy (Sec. III-E1)."""
+
+    check_interval: int = 512           #: gets between controller decisions
+    conflict_threshold: float = 0.05    #: conflicting/total above -> grow I_w
+    sparsity_threshold: float = 0.25    #: eviction non-empty ratio q below -> shrink I_w
+    capacity_threshold: float = 0.10    #: (capacity+failed)/total above -> grow S_w
+    stable_threshold: float = 0.60      #: hits/total above -> working set stable
+    free_space_threshold: float = 0.75  #: free/|S_w| above (and stable) -> shrink S_w
+    index_increase_factor: float = 2.0
+    index_decrease_factor: float = 2.0
+    memory_increase_factor: float = 2.0
+    memory_decrease_factor: float = 2.0
+    #: intervals to wait after an adjustment before deciding again
+    #: (0 = the paper's behaviour; >0 damps oscillation on noisy phases)
+    cooldown_intervals: int = 0
+    min_index_entries: int = 64
+    max_index_entries: int = 1 << 24
+    min_storage_bytes: int = 64 * KiB
+    max_storage_bytes: int = 4 << 30
+
+    def __post_init__(self) -> None:
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        for name in (
+            "index_increase_factor",
+            "index_decrease_factor",
+            "memory_increase_factor",
+            "memory_decrease_factor",
+        ):
+            if getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be > 1")
+        if self.cooldown_intervals < 0:
+            raise ValueError("cooldown_intervals must be >= 0")
+
+
+@dataclass(frozen=True)
+class Config:
+    """Static configuration of one caching-enabled window.
+
+    ``index_entries`` is |I_w| (number of indexable entries) and
+    ``storage_bytes`` is |S_w| (cache memory buffer size) — the two
+    performance-critical parameters of Sec. III-E.  With ``adaptive=True``
+    they are starting values that the controller adjusts at runtime.
+    """
+
+    index_entries: int = 4096
+    storage_bytes: int = 4 * MiB
+    mode: Mode = Mode.TRANSPARENT
+    policy: EvictionPolicy = EvictionPolicy.FULL
+    adaptive: bool = False
+    adaptive_params: AdaptiveParams = AdaptiveParams()
+    sample_size: int = 16        #: M, victim-sample size (Sec. III-D)
+    num_hashes: int = 4          #: p, cuckoo hash functions (Sec. III-C1)
+    max_insert_iterations: int = 32  #: cuckoo cycle-detection bound
+    max_capacity_evictions: int = 1  #: constant eviction budget (Sec. III-D2)
+    allocator_fit: str = "best"  #: "best" (paper) or "first" (ablation)
+    record_timeline: bool = False  #: sample (eph, gets, hits) at epoch closes
+    seed: int = 0xC1A09          #: deterministic hashing / sampling
+
+    def __post_init__(self) -> None:
+        if self.index_entries < 1:
+            raise ValueError("index_entries must be >= 1")
+        if self.storage_bytes < 1:
+            raise ValueError("storage_bytes must be >= 1")
+        if self.sample_size < 1:
+            raise ValueError("sample_size must be >= 1")
+        if self.num_hashes < 2:
+            raise ValueError("num_hashes must be >= 2")
+        if self.max_insert_iterations < 1:
+            raise ValueError("max_insert_iterations must be >= 1")
+        if self.max_capacity_evictions < 0:
+            raise ValueError("max_capacity_evictions must be >= 0")
+        if self.allocator_fit not in ("best", "first"):
+            raise ValueError(f"unknown allocator_fit: {self.allocator_fit}")
+
+    def with_sizes(self, index_entries: int, storage_bytes: int) -> "Config":
+        """Copy with new |I_w| / |S_w| (used by the adaptive controller)."""
+        return replace(
+            self, index_entries=index_entries, storage_bytes=storage_bytes
+        )

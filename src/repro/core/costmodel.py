@@ -1,0 +1,77 @@
+"""Virtual-time charges for cache-management work (Fig. 7 decomposition).
+
+CLaMPI's promise is *bounded overhead in the miss case*; to evaluate that
+(micro-benchmarks of Sec. IV-A) every management step must cost virtual
+time:
+
+* ``lookup``     — the constant-time cuckoo query;
+* ``probes``     — extra hash-table probes during insertion walks;
+* ``alloc_steps``/``free_steps`` — AVL search/rebalance steps;
+* ``eviction_visits`` — slots visited while sampling a victim;
+* ``descriptor_updates`` — linked-list / ``d_c`` bookkeeping;
+* ``copy``       — payload memcpy (hit path and materialisation);
+* ``invalidate`` — clearing the structures;
+* ``adjust``     — adaptive resize: structure re-allocation + invalidation.
+
+The sink is usually ``SimProcess.advance``; standalone (non-MPI) cache
+experiments pass no sink and just read :attr:`CostModel.total`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.model import MemoryModel
+
+#: fixed cost of tearing down the structures on invalidation
+INVALIDATE_BASE = 1.0e-6
+#: per-live-entry cost of invalidation (descriptor/score teardown)
+INVALIDATE_PER_ENTRY = 30e-9
+#: per-slot cost of (re)initialising the index (memset-like)
+SLOT_INIT = 1.0e-9
+#: per-byte cost of (re)allocating the storage buffer (page touch)
+STORAGE_INIT_PER_BYTE = 0.05e-9
+
+
+class CostModel:
+    """Accumulates management time and forwards it to a clock sink."""
+
+    def __init__(
+        self,
+        memory: MemoryModel | None = None,
+        sink: Callable[[float], None] | None = None,
+    ):
+        self.memory = memory or MemoryModel()
+        self._sink = sink
+        self.total = 0.0  #: cumulative management time (seconds)
+
+    def _charge(self, seconds: float) -> None:
+        self.total += seconds
+        if self._sink is not None:
+            self._sink(seconds)
+
+    # ------------------------------------------------------------------
+    def lookup(self) -> None:
+        self._charge(self.memory.lookup_time)
+
+    def probes(self, n: int) -> None:
+        self._charge(n * self.memory.probe_time)
+
+    def copy(self, nbytes: int) -> None:
+        self._charge(self.memory.copy_time(nbytes))
+
+    def avl_steps(self, n: int) -> None:
+        self._charge(n * self.memory.avl_step_time)
+
+    def eviction_visits(self, n: int) -> None:
+        self._charge(n * self.memory.eviction_visit_time)
+
+    def descriptor_updates(self, n: int) -> None:
+        self._charge(n * self.memory.descriptor_update_time)
+
+    def invalidate(self, live_entries: int) -> None:
+        self._charge(INVALIDATE_BASE + live_entries * INVALIDATE_PER_ENTRY)
+
+    def adjust(self, new_slots: int, new_storage_bytes: int) -> None:
+        """Adaptive resize: rebuild index + storage (then invalidate)."""
+        self._charge(new_slots * SLOT_INIT + new_storage_bytes * STORAGE_INIT_PER_BYTE)

@@ -1,0 +1,122 @@
+"""Cache entries: the values stored in ``I_w`` pointing into ``S_w``.
+
+Paper Sec. II-A: an index entry is ``i = (trg, dsp, dtype, count, ptr)``;
+``ptr`` is our storage :class:`~repro.core.storage.Descriptor`.  We add the
+bookkeeping the algorithms need: the Fig. 5 state, ``last`` (index of the
+last matching get in ``C_w.G``, for the temporal score) and, while PENDING,
+a view of the source buffer the payload will be materialised from at epoch
+closure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.states import EntryState, check_transition
+from repro.mpi.datatypes import Block, Datatype
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.storage import Descriptor
+
+
+def payload_prefix_blocks(blocks: list[Block], nbytes: int) -> list[Block]:
+    """Clip a flattened block list to its first ``nbytes`` payload bytes.
+
+    Used to decide whether a smaller get is layout-compatible with a cached
+    entry: the get is a *full hit* iff its own flattened blocks equal the
+    prefix of the entry's blocks covering the same payload size.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative prefix size: {nbytes}")
+    out: list[Block] = []
+    remaining = nbytes
+    for off, size in blocks:
+        if remaining == 0:
+            break
+        take = min(size, remaining)
+        out.append((off, take))
+        remaining -= take
+    if remaining:
+        raise ValueError(f"prefix {nbytes} exceeds payload {nbytes - remaining}")
+    return out
+
+
+class CacheEntry:
+    """One cached get: identity, layout, storage pointer and metadata."""
+
+    __slots__ = (
+        "trg",
+        "dsp",
+        "dtype",
+        "count",
+        "size",
+        "state",
+        "desc",
+        "last",
+        "slot",
+        "pending_source",
+        "pending_waiter_bytes",
+    )
+
+    def __init__(self, trg: int, dsp: int, dtype: Datatype, count: int):
+        self.trg = trg
+        self.dsp = dsp
+        self.dtype = dtype
+        self.count = count
+        self.size = dtype.transfer_size(count)  #: payload bytes (size(x))
+        self.state = EntryState.MISSING
+        self.desc: Descriptor | None = None
+        self.last = 0
+        self.slot = -1  #: cuckoo slot (managed by the index)
+        #: while PENDING: view of the origin buffer of the fetching get;
+        #: MPI forbids touching it before the epoch closes, so it is a
+        #: valid materialisation source at closure time.
+        self.pending_source: np.ndarray | None = None
+        #: payload bytes promised to same-epoch PENDING hits (charged at close)
+        self.pending_waiter_bytes: list[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> tuple[int, int]:
+        """Index key: the paper's hit rule is (trg, dsp) equality."""
+        return (self.trg, self.dsp)
+
+    def transition(self, new_state: EntryState) -> None:
+        check_transition(self.state, new_state)
+        self.state = new_state
+
+    def blocks(self) -> list[Block]:
+        """Flattened target-side layout of this entry."""
+        return self.dtype.flatten(self.count)
+
+    def covers(self, dtype: Datatype, count: int) -> bool:
+        """Full-hit test: is a get of (dtype, count) served by this entry?
+
+        Same datatype: a prefix in element count suffices (payload flattening
+        is element-major, so fewer elements are always a payload prefix).
+        Different datatype: fall back to comparing flattened blocks against
+        the matching payload prefix of this entry.
+        """
+        want = dtype.transfer_size(count)
+        if want > self.size:
+            return False
+        if dtype == self.dtype:
+            return count <= self.count
+        try:
+            return dtype.flatten(count) == payload_prefix_blocks(self.blocks(), want)
+        except ValueError:
+            return False
+
+    def relayout(self, dtype: Datatype, count: int) -> None:
+        """Adopt a new layout (partial-hit extension, Sec. III-B1)."""
+        self.dtype = dtype
+        self.count = count
+        self.size = dtype.transfer_size(count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CacheEntry(trg={self.trg}, dsp={self.dsp}, size={self.size}, "
+            f"state={self.state.value}, last={self.last})"
+        )

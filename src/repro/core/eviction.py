@@ -1,0 +1,127 @@
+"""Victim selection and eviction (paper Sec. III-D).
+
+Two eviction triggers exist:
+
+* **conflicting** — a cuckoo insertion walk cycled; the victim is chosen
+  among the entries on the *insertion path* (plus the homeless tail), by
+  lowest score;
+* **capacity** — the storage allocator found no fitting hole; the victim is
+  sampled from a circular window of ``M`` index slots starting at a random
+  position ("if the sample is empty, the procedure keeps scanning until at
+  least one non-empty entry is found"), again by lowest score.
+
+Only CACHED entries are evictable: a PENDING entry's payload is not in
+``S_w`` yet and its destination buffers are still owed data at epoch close.
+
+The eviction engine reports how many slots it visited and how many of them
+were non-empty — the sparsity signal ``q`` consumed by the adaptive
+controller (Sec. III-E1) and plotted in Fig. 11.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.config import EvictionPolicy
+from repro.core.cuckoo import CuckooIndex
+from repro.core.entry import CacheEntry
+from repro.core.scores import full_score, positional_score, temporal_score
+from repro.core.states import EntryState
+from repro.core.storage import Storage
+
+
+@dataclass
+class SampleResult:
+    """Outcome of a capacity-victim sampling walk."""
+
+    victim: CacheEntry | None
+    visited: int      #: total slots visited (v_i = max(M, k_i) in the paper)
+    nonempty: int     #: slots holding any entry
+
+
+class EvictionEngine:
+    """Scores entries and selects victims for one caching layer."""
+
+    def __init__(
+        self,
+        index: CuckooIndex,
+        storage: Storage,
+        policy: EvictionPolicy,
+        sample_size: int,
+        seed: int = 0,
+    ):
+        self.index = index
+        self.storage = storage
+        self.policy = policy
+        self.sample_size = sample_size
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def score(self, entry: CacheEntry, seq_index: int, avg_get_size: float) -> float:
+        """Entry score under the configured policy (lower = better victim)."""
+        if self.policy is EvictionPolicy.TEMPORAL:
+            return temporal_score(entry.last, seq_index)
+        d_c = self.storage.adjacent_free(entry.desc) if entry.desc else 0
+        if self.policy is EvictionPolicy.POSITIONAL:
+            return positional_score(avg_get_size, d_c)
+        return full_score(avg_get_size, d_c, entry.last, seq_index)
+
+    # ------------------------------------------------------------------
+    def sample_capacity_victim(
+        self, seq_index: int, avg_get_size: float
+    ) -> SampleResult:
+        """Pick the lowest-score CACHED entry in a random circular sample.
+
+        Visits ``M`` consecutive slots of ``I_w`` (modelled as a circular
+        array) starting at a random position; if none of them holds an
+        evictable entry it keeps scanning until one is found or the whole
+        table has been visited.
+        """
+        cap = self.index.capacity
+        start = self._rng.randrange(cap)
+        visited = 0
+        nonempty = 0
+        best: CacheEntry | None = None
+        best_score = float("inf")
+        i = start
+        while visited < cap:
+            entry = self.index.entry_at(i)
+            visited += 1
+            if entry is not None:
+                nonempty += 1
+                assert isinstance(entry, CacheEntry)
+                if entry.state is EntryState.CACHED:
+                    s = self.score(entry, seq_index, avg_get_size)
+                    if s < best_score:
+                        best_score = s
+                        best = entry
+            i = (i + 1) % cap
+            # Paper stopping rule: v_i = max(M, k_i) — visit M entries, and
+            # keep scanning only while the sample is still empty.  A sample
+            # containing only PENDING (non-evictable) entries yields no
+            # victim; the access then fails (weak caching).
+            if visited >= self.sample_size and nonempty > 0:
+                break
+        return SampleResult(best, visited, nonempty)
+
+    def select_conflict_victim(
+        self,
+        path: list[CacheEntry],
+        seq_index: int,
+        avg_get_size: float,
+        exclude: CacheEntry | None = None,
+    ) -> CacheEntry | None:
+        """Lowest-score evictable entry on a cuckoo insertion path."""
+        best: CacheEntry | None = None
+        best_score = float("inf")
+        for e in path:
+            if e is exclude:
+                continue
+            if e.state is not EntryState.CACHED:
+                continue
+            s = self.score(e, seq_index, avg_get_size)
+            if s < best_score:
+                best_score = s
+                best = e
+        return best

@@ -1,0 +1,46 @@
+"""Entry scoring (paper Sec. III-C2 and III-D1).
+
+* **Positional score** ``R_P^i(c) = min(|ags(i) - d_c| / ags(i), 1)`` —
+  how badly the free space adjacent to ``c`` matches the average get size:
+  the *lower* the score, the more likely evicting ``c`` frees a usable hole.
+* **Temporal score** ``R_T^i(x) = x.last / i`` — recency on the get
+  sequence ``C_w.G`` (LRU-like: recently matched entries score high).
+* **Full score** ``R = R_P x R_T`` — the paper's default, estimating both
+  fragmentation contribution and reuse probability.
+
+The eviction procedure always evicts the entry with the **lowest** score
+among the candidates.
+"""
+
+from __future__ import annotations
+
+
+def positional_score(avg_get_size: float, adjacent_free: int) -> float:
+    """``min(|ags - d_c| / ags, 1)``; low = evicting frees a right-sized hole.
+
+    With no observed gets yet (``ags == 0``) every entry is equally
+    (un)attractive positionally, so we return the neutral maximum 1.0.
+    """
+    if avg_get_size < 0 or adjacent_free < 0:
+        raise ValueError("negative inputs to positional score")
+    if avg_get_size == 0:
+        return 1.0
+    return min(abs(avg_get_size - adjacent_free) / avg_get_size, 1.0)
+
+
+def temporal_score(last_matched: int, current_index: int) -> float:
+    """``x.last / i`` on the get sequence (clamped into [0, 1])."""
+    if current_index <= 0:
+        raise ValueError("current_index must be >= 1")
+    if last_matched < 0:
+        raise ValueError("last_matched must be >= 0")
+    return min(last_matched / current_index, 1.0)
+
+
+def full_score(
+    avg_get_size: float, adjacent_free: int, last_matched: int, current_index: int
+) -> float:
+    """``R = R_P x R_T`` in [0, 1]."""
+    return positional_score(avg_get_size, adjacent_free) * temporal_score(
+        last_matched, current_index
+    )

@@ -1,0 +1,50 @@
+"""Cache-entry state machine (paper Fig. 5).
+
+Every cache entry is conceptually in one of three states:
+
+* ``MISSING`` — not present (the initial state, and the state after
+  eviction/invalidation);
+* ``PENDING`` — the data has been requested by a get in the current epoch
+  but the epoch has not closed yet, so the payload is not in ``S_w``;
+* ``CACHED`` — the payload sits in ``S_w`` and can be copied to any
+  destination buffer.
+
+Legal transitions (Fig. 5): MISSING→PENDING on a successful *direct*,
+*conflicting* or *capacity* access; PENDING→CACHED at epoch closure;
+CACHED→MISSING on eviction or invalidation; PENDING→MISSING on invalidation
+(transparent-mode closure).  Everything else is a bug and
+:func:`check_transition` raises.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class EntryState(Enum):
+    MISSING = "missing"
+    PENDING = "pending"
+    CACHED = "cached"
+
+
+_LEGAL: frozenset[tuple[EntryState, EntryState]] = frozenset(
+    {
+        (EntryState.MISSING, EntryState.PENDING),   # successful miss access
+        (EntryState.PENDING, EntryState.CACHED),    # epoch closure
+        (EntryState.CACHED, EntryState.MISSING),    # eviction / invalidation
+        (EntryState.PENDING, EntryState.MISSING),   # invalidation before close
+        (EntryState.CACHED, EntryState.PENDING),    # partial-hit extension refetch
+    }
+)
+
+
+class IllegalTransition(RuntimeError):
+    """Raised when an entry attempts a transition not present in Fig. 5."""
+
+
+def check_transition(old: EntryState, new: EntryState) -> None:
+    """Validate a state change; raises :class:`IllegalTransition` if bogus."""
+    if old == new:
+        return
+    if (old, new) not in _LEGAL:
+        raise IllegalTransition(f"illegal cache-entry transition {old} -> {new}")

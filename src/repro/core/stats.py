@@ -1,0 +1,153 @@
+"""Access-type accounting for a caching layer.
+
+The paper classifies every get_c (Sec. III-B):
+
+* *hitting* — lookup found a CACHED or PENDING entry (full or partial);
+* *direct* — miss served without any eviction;
+* *conflicting* — miss that required an index (cuckoo insertion-path)
+  eviction;
+* *capacity* — miss that required a storage eviction which then freed
+  enough space;
+* *failing* — miss that could not be cached (no resources even after the
+  bounded eviction attempt).
+
+Figures 13, 16 and 18 plot exactly these counters normalised by the total
+number of gets; the adaptive controller (Sec. III-E) consumes the same
+counters over a sliding interval, so :class:`CacheStats` keeps both a
+cumulative and a resettable *interval* view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from enum import Enum
+
+
+class AccessType(Enum):
+    HIT_FULL = "hit_full"
+    HIT_PARTIAL = "hit_partial"
+    HIT_PENDING = "hit_pending"
+    DIRECT = "direct"
+    CONFLICTING = "conflicting"
+    CAPACITY = "capacity"
+    FAILING = "failing"
+
+
+@dataclass
+class Counters:
+    """Raw event counters (one instance per accounting scope)."""
+
+    gets: int = 0
+    hit_full: int = 0
+    hit_partial: int = 0
+    hit_pending: int = 0
+    direct: int = 0
+    conflicting: int = 0
+    capacity: int = 0
+    failing: int = 0
+    evictions: int = 0
+    eviction_visited: int = 0       #: index slots visited by capacity evictions
+    eviction_nonempty: int = 0      #: of those, how many held an entry
+    capacity_evictions: int = 0     #: evictions triggered by storage pressure
+    conflict_evictions: int = 0     #: evictions triggered by cuckoo cycles
+    invalidations: int = 0
+    adjustments: int = 0            #: adaptive parameter changes
+    bytes_from_cache: int = 0
+    bytes_from_network: int = 0
+
+    def record_access(self, access: AccessType) -> None:
+        self.gets += 1
+        name = access.value
+        setattr(self, name, getattr(self, name) + 1)
+
+    @property
+    def hits(self) -> int:
+        return self.hit_full + self.hit_partial + self.hit_pending
+
+    @property
+    def misses(self) -> int:
+        return self.direct + self.conflicting + self.capacity + self.failing
+
+    def ratio(self, value: int) -> float:
+        """``value`` normalised by total gets (0.0 when no gets yet)."""
+        return value / self.gets if self.gets else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.ratio(self.hits)
+
+    @property
+    def conflict_ratio(self) -> float:
+        return self.ratio(self.conflicting)
+
+    @property
+    def capacity_failed_ratio(self) -> float:
+        return self.ratio(self.capacity + self.failing)
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class CacheStats:
+    """Cumulative + interval counters for one caching layer."""
+
+    total: Counters = field(default_factory=Counters)
+    interval: Counters = field(default_factory=Counters)
+    #: classification of the most recent get (handy for per-get benchmarks)
+    last_access: AccessType | None = None
+
+    def record_access(self, access: AccessType) -> None:
+        self.total.record_access(access)
+        self.interval.record_access(access)
+        self.last_access = access
+
+    def record_eviction(self, visited: int, nonempty: int, *, conflict: bool) -> None:
+        for c in (self.total, self.interval):
+            c.evictions += 1
+            if conflict:
+                c.conflict_evictions += 1
+            else:
+                c.capacity_evictions += 1
+                c.eviction_visited += visited
+                c.eviction_nonempty += nonempty
+
+    def record_invalidation(self) -> None:
+        self.total.invalidations += 1
+        self.interval.invalidations += 1
+
+    def record_adjustment(self) -> None:
+        self.total.adjustments += 1
+        self.interval.adjustments += 1
+
+    def record_cache_bytes(self, nbytes: int) -> None:
+        self.total.bytes_from_cache += nbytes
+        self.interval.bytes_from_cache += nbytes
+
+    def record_network_bytes(self, nbytes: int) -> None:
+        self.total.bytes_from_network += nbytes
+        self.interval.bytes_from_network += nbytes
+
+    def reset_interval(self) -> None:
+        self.interval.reset()
+
+    def snapshot(self) -> dict[str, int]:
+        """Cumulative counters as a plain dict (cheap to gather/compare)."""
+        return self.total.as_dict()
+
+    def breakdown(self) -> dict[str, float]:
+        """Fig. 13/16/18-style normalised access breakdown."""
+        t = self.total
+        return {
+            "hit_full": t.ratio(t.hit_full),
+            "hit_partial": t.ratio(t.hit_partial),
+            "hit_pending": t.ratio(t.hit_pending),
+            "direct": t.ratio(t.direct),
+            "conflicting": t.ratio(t.conflicting),
+            "capacity": t.ratio(t.capacity),
+            "failing": t.ratio(t.failing),
+        }

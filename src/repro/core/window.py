@@ -1,0 +1,645 @@
+"""Caching-enabled windows: the CLaMPI get_c processing engine (Sec. III).
+
+A :class:`CachedWindow` wraps a :class:`repro.mpi.Window` and intercepts
+``get``:
+
+1. the index ``I_w`` is queried (constant-time cuckoo lookup);
+2. a CACHED/PENDING entry that *covers* the request is a **full hit**
+   (CACHED → copy from ``S_w``; PENDING → the data was already requested in
+   this epoch, the destination is served and the copy charged at epoch
+   close);
+3. a covering entry that is too small is a **partial hit**: the remote get
+   is issued for the whole request and the entry is extended only if
+   ``S_w`` has space;
+4. otherwise the access is a miss: the remote get is issued (overlapping
+   the management work), the entry is inserted into ``I_w`` (a cuckoo
+   insertion failure triggers a **conflicting** eviction on the insertion
+   path) and storage is allocated (allocation failure triggers at most a
+   constant number of **capacity** evictions — weak caching); if space still
+   cannot be found the access is **failing** and simply behaves like an
+   uncached get.
+
+PENDING entries materialise into ``S_w`` when the epoch closes (flush,
+unlock, fence — Sec. II): the payload is copied out of the fetching get's
+origin buffer, which MPI guarantees untouched until completion.
+
+Operational modes (Sec. III-A): TRANSPARENT invalidates at every epoch
+closure (only intra-epoch reuse); ALWAYS_CACHE never invalidates;
+USER_DEFINED is ALWAYS_CACHE plus the explicit :meth:`invalidate`
+(CLAMPI_Invalidate).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveController, Adjustment
+from repro.core.config import INFO_MODE_KEY, Config, Mode
+from repro.core.costmodel import CostModel
+from repro.core.cuckoo import CuckooIndex, InsertResult
+from repro.core.entry import CacheEntry
+from repro.core.eviction import EvictionEngine
+from repro.core.states import EntryState
+from repro.core.stats import AccessType, CacheStats
+from repro.core.storage import Storage
+from repro.mpi.comm import Communicator
+from repro.mpi.datatypes import Datatype
+from repro.mpi.window import Window
+
+
+class CachedWindow:
+    """A caching layer ``C_w = (I_w, S_w)`` wrapped around an MPI window."""
+
+    def __init__(self, window: Window, config: Config | None = None):
+        self._win = window
+        cfg = config or Config()
+        info_mode = window.info.get(INFO_MODE_KEY)
+        if info_mode is not None:
+            cfg = _replace_mode(cfg, Mode(info_mode))
+        self.config = cfg
+        self.mode = cfg.mode
+        self.stats = CacheStats()
+        self.cost = CostModel(
+            memory=window.comm.perf.memory, sink=window.comm.proc.advance
+        )
+        self.index_entries = cfg.index_entries  #: current |I_w|
+        self.storage_bytes = cfg.storage_bytes  #: current |S_w|
+        self._build_structures()
+        self._seq = 0        #: i — position in the get sequence C_w.G
+        self._size_sum = 0   #: running sum of get sizes (for ags)
+        self._pending: list[CacheEntry] = []
+        self._orphan_waiter_bytes: list[int] = []
+        self._controller = (
+            AdaptiveController(cfg.adaptive_params) if cfg.adaptive else None
+        )
+        self._cooldown = 0  #: intervals left before the controller may act
+        #: optional (eph, gets, hits) samples appended at every epoch close
+        self.timeline: list[tuple[int, int, int]] | None = (
+            [] if cfg.record_timeline else None
+        )
+        window.add_epoch_close_hook(self._on_epoch_close)
+
+    # ------------------------------------------------------------------
+    # plumbing / introspection
+    # ------------------------------------------------------------------
+    @property
+    def raw(self) -> Window:
+        """The underlying (uncached) MPI window."""
+        return self._win
+
+    @property
+    def comm(self) -> Communicator:
+        return self._win.comm
+
+    @property
+    def eph(self) -> int:
+        return self._win.eph
+
+    @property
+    def info(self) -> Mapping[str, Any]:
+        return self._win.info
+
+    @property
+    def local_buffer(self) -> np.ndarray:
+        return self._win.local_buffer
+
+    def local_view(self, dtype: np.dtype | type) -> np.ndarray:
+        return self._win.local_view(dtype)
+
+    @property
+    def index(self) -> CuckooIndex:
+        return self._index
+
+    @property
+    def storage(self) -> Storage:
+        return self._storage
+
+    @property
+    def avg_get_size(self) -> float:
+        """``C_w.ags(i)`` — average size of the gets processed so far."""
+        return self._size_sum / self._seq if self._seq else 0.0
+
+    @property
+    def seq_index(self) -> int:
+        """Number of gets processed (the current index ``i`` in ``C_w.G``)."""
+        return self._seq
+
+    def _build_structures(self) -> None:
+        cfg = self.config
+        self._index = CuckooIndex(
+            self.index_entries,
+            num_hashes=cfg.num_hashes,
+            max_iterations=cfg.max_insert_iterations,
+            seed=cfg.seed,
+        )
+        self._storage = Storage(self.storage_bytes, fit=cfg.allocator_fit)
+        self._evictor = EvictionEngine(
+            self._index,
+            self._storage,
+            cfg.policy,
+            cfg.sample_size,
+            seed=cfg.seed + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # epoch management (proxied to the underlying window)
+    # ------------------------------------------------------------------
+    def lock(self, rank: int, lock_type: str = "shared") -> None:
+        self._win.lock(rank, lock_type)
+
+    def lock_all(self) -> None:
+        self._win.lock_all()
+
+    def unlock(self, rank: int) -> None:
+        self._win.unlock(rank)
+
+    def unlock_all(self) -> None:
+        self._win.unlock_all()
+
+    def flush(self, rank: int) -> None:
+        self._win.flush(rank)
+
+    def flush_all(self) -> None:
+        self._win.flush_all()
+
+    def fence(self) -> None:
+        self._win.fence()
+
+    def free(self) -> None:
+        self._win.free()
+
+    def put(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> int:
+        """Puts are never cached (Sec. II); pass straight through.
+
+        As a defensive consistency guard (beyond the paper, which relies on
+        the MPI epoch rules alone), any cached entries overlapping the
+        written target range are dropped so a later epoch cannot serve
+        stale bytes.
+        """
+        dtype, count = self._win._resolve_dtype(origin, count, datatype)
+        nbytes = self._win.put(origin, target_rank, target_disp, count, dtype)
+        du = self._win._group.disp_units[target_rank]
+        start = target_disp * du
+        span = dtype.extent * count
+        self._invalidate_overlapping(target_rank, start, start + span)
+        return nbytes
+
+    def accumulate(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        op: str = "sum",
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> int:
+        """Accumulates are writes: pass through and drop overlapping entries."""
+        dtype, count = self._win._resolve_dtype(origin, count, datatype)
+        nbytes = self._win.accumulate(
+            origin, target_rank, target_disp, op, count, dtype
+        )
+        du = self._win._group.disp_units[target_rank]
+        start = target_disp * du
+        self._invalidate_overlapping(target_rank, start, start + dtype.extent * count)
+        return nbytes
+
+    def _invalidate_overlapping(self, trg: int, lo: int, hi: int) -> None:
+        """Drop cached/pending entries of ``trg`` overlapping [lo, hi)."""
+        du = self._win._group.disp_units[trg]
+        victims = [
+            e
+            for e in list(self._index.entries())
+            if isinstance(e, CacheEntry)
+            and e.trg == trg
+            and e.dsp * du < hi
+            and e.dsp * du + e.dtype.extent * e.count > lo
+        ]
+        victims.extend(
+            e
+            for e in list(self._pending)
+            if e.slot < 0
+            and e.trg == trg
+            and e.dsp * du < hi
+            and e.dsp * du + e.dtype.extent * e.count > lo
+        )
+        for e in victims:
+            self._drop_entry(e)
+        if victims:
+            self.cost.descriptor_updates(len(victims))
+
+    # ------------------------------------------------------------------
+    # the cached get (get_c)
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int | None = None,
+        datatype: Datatype | None = None,
+        bypass_cache: bool = False,
+    ) -> int:
+        """Cached one-sided get; returns payload bytes.
+
+        Semantically identical to :meth:`repro.mpi.Window.get` — including
+        the epoch rules, which are enforced by the wrapped window — but
+        served from ``S_w`` whenever possible.
+
+        ``bypass_cache=True`` is the per-operation escape hatch the paper
+        floats as a possible MPI-standard extension (Sec. III-A): the get
+        goes straight to the network, is never looked up, never inserted,
+        and never counted in the cache statistics.
+        """
+        if bypass_cache:
+            return self._win.get(origin, target_rank, target_disp, count, datatype)
+        dtype, count = self._win._resolve_dtype(origin, count, datatype)
+        size = dtype.transfer_size(count)
+        self._seq += 1
+        self._size_sum += size
+
+        self.cost.lookup()
+        entry, _probes = self._index.lookup((target_rank, target_disp))
+        if entry is not None and isinstance(entry, CacheEntry):
+            if entry.state is EntryState.CACHED or entry.state is EntryState.PENDING:
+                if entry.covers(dtype, count):
+                    nbytes = self._serve_full_hit(entry, origin, size)
+                else:
+                    nbytes = self._serve_partial_hit(
+                        entry, origin, target_rank, target_disp, count, dtype, size
+                    )
+                self._maybe_adapt()
+                return nbytes
+        nbytes = self._serve_miss(origin, target_rank, target_disp, count, dtype, size)
+        self._maybe_adapt()
+        return nbytes
+
+    def get_blocking(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> int:
+        n = self.get(origin, target_rank, target_disp, count, datatype)
+        self.flush(target_rank)
+        return n
+
+    # ------------------------------------------------------------------
+    def _serve_full_hit(
+        self, entry: CacheEntry, origin: np.ndarray, size: int
+    ) -> int:
+        entry.last = self._seq
+        obuf = Window._origin_bytes(origin)
+        if entry.state is EntryState.CACHED:
+            obuf[:size] = self._storage.read(entry.desc, size)
+            self.cost.copy(size)
+            self.stats.record_access(AccessType.HIT_FULL)
+        else:  # PENDING: same data already in flight from an earlier get
+            assert entry.pending_source is not None
+            obuf[:size] = entry.pending_source[:size]
+            entry.pending_waiter_bytes.append(size)
+            self.stats.record_access(AccessType.HIT_PENDING)
+        self.stats.record_cache_bytes(size)
+        return size
+
+    def _serve_partial_hit(
+        self,
+        entry: CacheEntry,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int,
+        dtype: Datatype,
+        size: int,
+    ) -> int:
+        """Partial hit: refetch everything; extend the entry if space allows."""
+        entry.last = self._seq
+        self.stats.record_access(AccessType.HIT_PARTIAL)
+        nbytes = self._win.get(origin, target_rank, target_disp, count, dtype)
+        self.stats.record_network_bytes(nbytes)
+        # Extension: allocate the larger region *first* so a failure leaves
+        # the existing (smaller but valid) entry untouched.
+        new_desc = self._allocate_tracked(size)
+        if new_desc is None:
+            return nbytes
+        was_pending = entry.state is EntryState.PENDING
+        if entry.desc is not None:
+            self._release_tracked(entry)
+        entry.desc = new_desc
+        new_desc.entry = entry
+        entry.relayout(dtype, count)
+        entry.pending_source = Window._origin_bytes(origin)[:size]
+        if not was_pending:
+            entry.transition(EntryState.PENDING)
+            self._pending.append(entry)
+        self.cost.descriptor_updates(2)
+        return nbytes
+
+    def _serve_miss(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int,
+        dtype: Datatype,
+        size: int,
+    ) -> int:
+        # Issue the remote get immediately: its flight time overlaps all the
+        # cache-management work below (Sec. III-B2).
+        nbytes = self._win.get(origin, target_rank, target_disp, count, dtype)
+        self.stats.record_network_bytes(nbytes)
+
+        entry = CacheEntry(target_rank, target_disp, dtype, count)
+        entry.last = self._seq
+
+        # Oversized requests can never be stored: fail fast, no eviction
+        # storm for a sporadically accessed big segment (Sec. III-D2).
+        if size > self._storage.capacity:
+            self.stats.record_access(AccessType.FAILING)
+            return nbytes
+
+        res = self._index.insert(entry)
+        self.cost.probes(res.probes)
+        conflicted = not res.success
+        if conflicted and not self._resolve_conflict(res, entry):
+            self.stats.record_access(AccessType.FAILING)
+            return nbytes
+
+        desc, evicted = self._allocate_with_eviction(size)
+        if desc is None:
+            self._index.remove(entry)
+            self.stats.record_access(AccessType.FAILING)
+            return nbytes
+
+        entry.desc = desc
+        desc.entry = entry
+        entry.transition(EntryState.PENDING)
+        entry.pending_source = Window._origin_bytes(origin)[:size]
+        self._pending.append(entry)
+        self.cost.descriptor_updates(1)
+
+        if conflicted:
+            self.stats.record_access(AccessType.CONFLICTING)
+        elif evicted:
+            self.stats.record_access(AccessType.CAPACITY)
+        else:
+            self.stats.record_access(AccessType.DIRECT)
+        return nbytes
+
+    # ------------------------------------------------------------------
+    # eviction machinery
+    # ------------------------------------------------------------------
+    def _allocate_tracked(self, size: int):
+        s0 = self._storage.steps
+        desc = self._storage.allocate(size)
+        self.cost.avl_steps(self._storage.steps - s0)
+        return desc
+
+    def _release_tracked(self, entry: CacheEntry) -> None:
+        assert entry.desc is not None
+        s0 = self._storage.steps
+        self._storage.release(entry.desc)
+        self.cost.avl_steps(self._storage.steps - s0)
+        self.cost.descriptor_updates(1)
+        entry.desc = None
+
+    def _allocate_with_eviction(self, size: int):
+        """Best-fit allocate; on failure run the bounded capacity eviction."""
+        desc = self._allocate_tracked(size)
+        if desc is not None:
+            return desc, False
+        evicted_any = False
+        for _ in range(self.config.max_capacity_evictions):
+            sample = self._evictor.sample_capacity_victim(
+                self._seq, self.avg_get_size
+            )
+            self.cost.eviction_visits(sample.visited)
+            if sample.victim is None:
+                break
+            self.stats.record_eviction(
+                sample.visited, sample.nonempty, conflict=False
+            )
+            self._evict(sample.victim)
+            evicted_any = True
+            desc = self._allocate_tracked(size)
+            if desc is not None:
+                return desc, True
+        return None, evicted_any
+
+    def _evict(self, entry: CacheEntry) -> None:
+        """Evict a CACHED entry that is stored in the index."""
+        assert entry.state is EntryState.CACHED
+        self._index.remove(entry)
+        self._release_tracked(entry)
+        entry.transition(EntryState.MISSING)
+
+    def _drop_entry(self, entry: CacheEntry) -> None:
+        """Remove an entry wherever it is (index, storage, pending list)."""
+        if entry.slot >= 0:
+            self._index.remove(entry)
+        if entry.state is EntryState.PENDING:
+            self._orphan_waiter_bytes.extend(entry.pending_waiter_bytes)
+            entry.pending_waiter_bytes = []
+            entry.pending_source = None
+            if entry in self._pending:
+                self._pending.remove(entry)
+        if entry.desc is not None:
+            self._release_tracked(entry)
+        if entry.state is not EntryState.MISSING:
+            entry.transition(EntryState.MISSING)
+
+    def _resolve_conflict(self, res: InsertResult, entry: CacheEntry) -> bool:
+        """Handle a cuckoo insertion failure (conflicting access).
+
+        Evicts the lowest-score CACHED entry on the insertion path and
+        re-inserts the homeless tail, retrying a bounded number of times.
+        Returns True when ``entry`` ends up stored in the index.
+        """
+        for _ in range(4):
+            homeless = res.homeless
+            assert isinstance(homeless, CacheEntry)
+            victim = self._evictor.select_conflict_victim(
+                [e for e in res.path if isinstance(e, CacheEntry)],
+                self._seq,
+                self.avg_get_size,
+                exclude=entry,
+            )
+            if victim is None:
+                # Nothing evictable on the path: drop the homeless tail.
+                self._drop_entry(homeless)
+                return homeless is not entry
+            self.stats.record_eviction(0, 0, conflict=True)
+            if victim is homeless:
+                # Already out of the table; just release its resources.
+                self._drop_entry(victim)
+                return True
+            self._evict(victim)
+            res2 = self._index.insert(homeless)
+            self.cost.probes(res2.probes)
+            if res2.success:
+                return True
+            res = res2
+        self._drop_entry(res.homeless)  # give up on the last homeless tail
+        return res.homeless is not entry
+
+    # ------------------------------------------------------------------
+    # epoch closure, invalidation, adaptation
+    # ------------------------------------------------------------------
+    def _on_epoch_close(self, _win: Window, targets: set[int] | None) -> None:
+        def closes(e: CacheEntry) -> bool:
+            return targets is None or e.trg in targets
+
+        still_pending: list[CacheEntry] = []
+        for e in self._pending:
+            if not closes(e):
+                still_pending.append(e)
+                continue
+            for n in e.pending_waiter_bytes:
+                self.cost.copy(n)
+            e.pending_waiter_bytes = []
+            if self.mode is Mode.TRANSPARENT:
+                # The entry dies at closure anyway: skip the materialisation
+                # copy, release its resources.
+                e.pending_source = None
+                if e.slot >= 0:
+                    self._index.remove(e)
+                if e.desc is not None:
+                    self._release_tracked(e)
+                e.transition(EntryState.MISSING)
+            else:
+                assert e.pending_source is not None and e.desc is not None
+                self._storage.write(e.desc, e.pending_source[: e.size])
+                self.cost.copy(e.size)
+                e.pending_source = None
+                e.transition(EntryState.CACHED)
+        self._pending = still_pending
+
+        for n in self._orphan_waiter_bytes:
+            self.cost.copy(n)
+        self._orphan_waiter_bytes = []
+
+        if self.mode is Mode.TRANSPARENT:
+            self._invalidate_entries(targets)
+
+        if self.timeline is not None:
+            t = self.stats.total
+            self.timeline.append((self._win.eph, t.gets, t.hits))
+
+    def _invalidate_entries(self, targets: set[int] | None) -> int:
+        """Drop all (or per-target) entries; returns how many were live."""
+        victims = [
+            e
+            for e in list(self._index.entries())
+            if isinstance(e, CacheEntry) and (targets is None or e.trg in targets)
+        ]
+        for e in victims:
+            self._drop_entry(e)
+        if targets is None:
+            # Pending entries outside the index (mid-conflict orphans) die too.
+            for e in list(self._pending):
+                self._drop_entry(e)
+        return len(victims)
+
+    def invalidate(self) -> None:
+        """CLAMPI_Invalidate: explicitly drop the whole cache content.
+
+        This is the USER_DEFINED-mode call from the paper's Listing 1; any
+        same-epoch pending waiters are charged immediately.
+        """
+        live = self._invalidate_entries(None)
+        for n in self._orphan_waiter_bytes:
+            self.cost.copy(n)
+        self._orphan_waiter_bytes = []
+        self.cost.invalidate(live)
+        self.stats.record_invalidation()
+
+    def check_invariants(self) -> None:
+        """Structural audit of the whole caching layer (used by tests).
+
+        Verifies the cross-structure invariants that the get_c engine must
+        maintain at every quiescent point:
+
+        * every indexed entry is CACHED or PENDING, knows its slot, and its
+          key matches its (trg, dsp);
+        * every CACHED entry owns a live storage descriptor large enough
+          for its payload and back-referencing it;
+        * the pending list is exactly the set of PENDING entries, each with
+          a materialisation source;
+        * storage bookkeeping (descriptor list, free tree, used bytes) is
+          internally consistent.
+        """
+        indexed = [e for e in self._index.entries() if isinstance(e, CacheEntry)]
+        for e in indexed:
+            assert e.state in (EntryState.CACHED, EntryState.PENDING), e
+            assert e.slot >= 0, e
+            assert self._index.entry_at(e.slot) is e, e
+            assert e.key == (e.trg, e.dsp), e
+            assert e.desc is not None and not e.desc.free, e
+            assert e.desc.size >= e.size, e
+            assert e.desc.entry is e, e
+        pending_in_index = {id(e) for e in indexed if e.state is EntryState.PENDING}
+        pending_list = {id(e) for e in self._pending}
+        assert pending_in_index <= pending_list, "indexed PENDING not tracked"
+        for e in self._pending:
+            assert e.state is EntryState.PENDING, e
+            assert e.pending_source is not None, e
+        used = sum(e.desc.size for e in indexed)
+        orphan_pending = [e for e in self._pending if e.slot < 0 and e.desc]
+        used += sum(e.desc.size for e in orphan_pending)
+        assert used == self._storage.used_bytes, (
+            f"storage accounting: entries hold {used}, "
+            f"storage says {self._storage.used_bytes}"
+        )
+        self._storage.check_invariants()
+
+    def _maybe_adapt(self) -> None:
+        if self._controller is None:
+            return
+        if self.stats.interval.gets < self.config.adaptive_params.check_interval:
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self.stats.reset_interval()
+            return
+        adj = self._controller.evaluate(
+            self.stats,
+            self.index_entries,
+            self.storage_bytes,
+            self._storage.free_bytes,
+        )
+        self.stats.reset_interval()
+        if adj is None:
+            return
+        self._cooldown = self.config.adaptive_params.cooldown_intervals
+        self._apply_adjustment(adj)
+
+    def _apply_adjustment(self, adj: Adjustment) -> None:
+        """Resize |I_w|/|S_w|: invalidate, rebuild, charge the rebuild."""
+        live = self._invalidate_entries(None)
+        for n in self._orphan_waiter_bytes:
+            self.cost.copy(n)
+        self._orphan_waiter_bytes = []
+        self.cost.invalidate(live)
+        self.stats.record_invalidation()
+        self.index_entries = adj.index_entries
+        self.storage_bytes = adj.storage_bytes
+        self._pending = []
+        self._build_structures()
+        self.cost.adjust(adj.index_entries, adj.storage_bytes)
+        self.stats.record_adjustment()
+
+
+def _replace_mode(cfg: Config, mode: Mode) -> Config:
+    from dataclasses import replace
+
+    return replace(cfg, mode=mode)

@@ -1,0 +1,27 @@
+"""Graph substrate: R-MAT generation, CSR storage, 1-D partitioning.
+
+The paper's LCC experiments (Sec. IV-C) run on scale-free R-MAT graphs
+(Chakrabarti et al.) partitioned one-dimensionally: each of ``P`` processes
+owns a contiguous block of vertices and all their incident edges.  This
+package provides:
+
+* :func:`~repro.graph.rmat.rmat_edges` — vectorised R-MAT edge generation;
+* :class:`~repro.graph.csr.CSRGraph` — compressed sparse row adjacency;
+* :class:`~repro.graph.partition.BlockPartition` — 1-D vertex blocks;
+* :class:`~repro.graph.distributed.DistributedGraph` — per-rank CSR slices
+  exposed through (cached) RMA windows, the communication substrate of the
+  LCC application.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.distributed import DistributedGraph
+from repro.graph.partition import BlockPartition
+from repro.graph.rmat import rmat_edges, rmat_graph
+
+__all__ = [
+    "BlockPartition",
+    "CSRGraph",
+    "DistributedGraph",
+    "rmat_edges",
+    "rmat_graph",
+]

@@ -1,0 +1,60 @@
+"""1-D block partitioning of vertices over ranks (paper Sec. IV-C).
+
+"G is partitioned among P processes by using a one-dimensional scheme: each
+partition V_i ⊆ V is assigned to a process p_i.  The process p_i owns all
+the vertices v ∈ V_i and all the edges (v, u)."
+
+We use balanced contiguous blocks: rank i owns vertices
+``[i*ceil(n/P), min((i+1)*ceil(n/P), n))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Balanced contiguous 1-D partition of ``nitems`` over ``nparts``."""
+
+    nitems: int
+    nparts: int
+
+    def __post_init__(self) -> None:
+        if self.nitems < 0:
+            raise ValueError("nitems must be >= 0")
+        if self.nparts < 1:
+            raise ValueError("nparts must be >= 1")
+
+    @cached_property
+    def block(self) -> int:
+        """Items per part (last part may be smaller)."""
+        return -(-self.nitems // self.nparts)  # ceil division
+
+    def owner(self, item: int) -> int:
+        if not 0 <= item < self.nitems:
+            raise ValueError(f"item {item} out of range [0, {self.nitems})")
+        return item // self.block if self.block else 0
+
+    def owners(self, items: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`owner`."""
+        return np.asarray(items, dtype=np.int64) // max(self.block, 1)
+
+    def range_of(self, part: int) -> tuple[int, int]:
+        """``[lo, hi)`` item range of ``part``."""
+        if not 0 <= part < self.nparts:
+            raise ValueError(f"part {part} out of range [0, {self.nparts})")
+        lo = min(part * self.block, self.nitems)
+        hi = min(lo + self.block, self.nitems)
+        return lo, hi
+
+    def size_of(self, part: int) -> int:
+        lo, hi = self.range_of(part)
+        return hi - lo
+
+    def local_index(self, item: int) -> int:
+        """Index of ``item`` within its owner's block."""
+        return item - self.range_of(self.owner(item))[0]

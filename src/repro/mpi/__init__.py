@@ -1,0 +1,63 @@
+"""Simulated MPI-3 one-sided (RMA) library.
+
+This package is a from-scratch, single-machine re-implementation of the
+slice of MPI-3 that CLaMPI builds on (paper Sec. I-A):
+
+* :class:`~repro.mpi.simmpi.SimMPI` — launcher: runs one program per rank on
+  the deterministic :mod:`repro.runtime` scheduler.
+* :class:`~repro.mpi.comm.Communicator` — ``rank``/``size``, ``barrier``,
+  ``bcast``, ``allgather``, ``allreduce``, ``gather``.
+* :class:`~repro.mpi.window.Window` — ``win_allocate``/``win_create``,
+  passive-target epochs (``lock``/``unlock``/``lock_all``/``unlock_all``/
+  ``flush``/``flush_all``) and active-target ``fence``; non-blocking ``get``
+  and ``put`` completed at synchronisation calls; per-window epoch counter
+  ``eph`` incremented at every epoch-closure event.
+* :mod:`~repro.mpi.datatypes` — an MPI datatype library with flattening to
+  ``(offset, size)`` block lists (paper Sec. II-B).
+
+Timing: every operation charges virtual time through the job's
+:class:`repro.net.PerfModel`; non-blocking gets charge injection cost at
+issue time and complete (clock-wise) at the next synchronisation, which is
+what makes the overlap study (Fig. 8) reproducible.
+"""
+
+from repro.mpi.comm import Communicator, ReduceOp
+from repro.mpi.datatypes import (
+    BYTE,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    Contiguous,
+    Datatype,
+    Indexed,
+    Predefined,
+    Vector,
+)
+from repro.mpi.errors import EpochError, MPIError, WindowError
+from repro.mpi.simmpi import MPIProcess, SimMPI
+from repro.mpi.window import LOCK_EXCLUSIVE, LOCK_SHARED, Request, Window
+
+__all__ = [
+    "BYTE",
+    "Communicator",
+    "Contiguous",
+    "Datatype",
+    "EpochError",
+    "FLOAT32",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "Indexed",
+    "LOCK_EXCLUSIVE",
+    "LOCK_SHARED",
+    "MPIError",
+    "MPIProcess",
+    "Predefined",
+    "ReduceOp",
+    "Request",
+    "SimMPI",
+    "Vector",
+    "Window",
+    "WindowError",
+]

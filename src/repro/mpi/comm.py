@@ -1,0 +1,127 @@
+"""Communicators and collective operations for the simulated MPI layer.
+
+Collectives are built on the runtime's payload-carrying barrier
+(:meth:`repro.runtime.SimProcess.sync`).  Their virtual-time cost follows the
+classic logarithmic tree model ``ceil(log2 P) * (alpha + nbytes/beta)`` using
+the remote-group network parameters — precise enough for the paper's
+experiments, where collectives only delimit phases and never dominate.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Any, Callable, Sequence
+
+from repro.net import Distance, PerfModel
+from repro.runtime import SimProcess
+
+
+class ReduceOp(Enum):
+    """Reduction operators for :meth:`Communicator.allreduce`."""
+
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+    PROD = "prod"
+    LAND = "land"
+    LOR = "lor"
+
+
+_REDUCERS: dict[ReduceOp, Callable[[Sequence[Any]], Any]] = {
+    ReduceOp.SUM: lambda xs: sum(xs[1:], start=xs[0]),
+    ReduceOp.MAX: max,
+    ReduceOp.MIN: min,
+    ReduceOp.PROD: lambda xs: math.prod(xs),
+    ReduceOp.LAND: all,
+    ReduceOp.LOR: any,
+}
+
+
+class Communicator:
+    """A group of ranks with collective operations.
+
+    One :class:`Communicator` object exists *per rank* (it carries the local
+    rank), but all instances of the same communicator share an id so that
+    sync points line up.
+    """
+
+    def __init__(self, proc: SimProcess, perf: PerfModel, ranks: Sequence[int] | None = None):
+        self._proc = proc
+        self._perf = perf
+        self._ranks = list(ranks) if ranks is not None else list(range(proc.nprocs))
+        if proc.rank not in self._ranks:
+            raise ValueError(f"rank {proc.rank} not in communicator group")
+        if len(self._ranks) != proc.nprocs:
+            raise NotImplementedError(
+                "sub-communicators are not supported by the simulated runtime"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._proc.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._ranks)
+
+    @property
+    def proc(self) -> SimProcess:
+        """Underlying runtime process handle."""
+        return self._proc
+
+    @property
+    def perf(self) -> PerfModel:
+        """Performance model of the job."""
+        return self._perf
+
+    @property
+    def time(self) -> float:
+        """Current virtual time of the calling rank (seconds)."""
+        return self._proc.clock
+
+    # ------------------------------------------------------------------
+    def _tree_cost(self, nbytes: int) -> float:
+        rounds = max(1, math.ceil(math.log2(max(2, self.size))))
+        per_round = self._perf.network.transfer_time(Distance.REMOTE_GROUP, nbytes)
+        return rounds * per_round
+
+    def barrier(self) -> None:
+        """Synchronise all ranks; clocks align to max + tree latency."""
+        self._proc.sync(extra_time=self._tree_cost(0))
+
+    def allgather(self, value: Any, nbytes: int = 64) -> list[Any]:
+        """Gather ``value`` from every rank to every rank.
+
+        ``nbytes`` is the assumed per-rank payload for time accounting (the
+        functional payload is an arbitrary Python object).
+        """
+        return self._proc.sync(payload=value, extra_time=self._tree_cost(nbytes))
+
+    def bcast(self, value: Any, root: int = 0, nbytes: int = 64) -> Any:
+        """Broadcast ``value`` from ``root``; other ranks pass anything."""
+        self._check_rank(root)
+        gathered = self._proc.sync(
+            payload=value if self.rank == root else None,
+            extra_time=self._tree_cost(nbytes),
+        )
+        return gathered[root]
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 64) -> list[Any] | None:
+        """Gather to ``root``; non-roots receive ``None``."""
+        self._check_rank(root)
+        gathered = self._proc.sync(payload=value, extra_time=self._tree_cost(nbytes))
+        return gathered if self.rank == root else None
+
+    def allreduce(self, value: Any, op: ReduceOp = ReduceOp.SUM, nbytes: int = 8) -> Any:
+        """Reduce ``value`` across ranks with ``op``; all ranks get the result."""
+        gathered = self._proc.sync(payload=value, extra_time=self._tree_cost(nbytes))
+        live = [v for v in gathered if v is not None]
+        return _REDUCERS[op](live)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the simulated MPI layer."""
+
+from __future__ import annotations
+
+
+class MPIError(RuntimeError):
+    """Base class for all simulated-MPI failures."""
+
+
+class WindowError(MPIError):
+    """Invalid window usage (bad rank, out-of-bounds access, freed window)."""
+
+
+class EpochError(MPIError):
+    """RMA call issued outside an access epoch, or invalid epoch nesting."""
+
+
+class DatatypeError(MPIError):
+    """Malformed datatype construction or use."""

@@ -1,0 +1,110 @@
+"""Job launcher: the simulated equivalent of ``mpiexec``.
+
+:class:`SimMPI` configures a performance model and runs one program per rank
+on the deterministic scheduler.  Programs receive an :class:`MPIProcess`
+facade bundling the world communicator, the performance model and the raw
+:class:`~repro.runtime.SimProcess` handle::
+
+    def program(mpi: MPIProcess):
+        win = Window.allocate(mpi.comm_world, 1 << 20)
+        ...
+        return mpi.rank
+
+    results = SimMPI(nprocs=8).run(program)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.mpi.comm import Communicator
+from repro.net import PerfModel
+from repro.runtime import SimProcess, SimWorld
+
+
+class MPIProcess:
+    """Per-rank handle passed to simulated MPI programs."""
+
+    def __init__(self, proc: SimProcess, perf: PerfModel):
+        self.proc = proc
+        self.perf = perf
+        self.comm_world = Communicator(proc, perf)
+
+    @property
+    def rank(self) -> int:
+        return self.proc.rank
+
+    @property
+    def size(self) -> int:
+        return self.proc.nprocs
+
+    @property
+    def time(self) -> float:
+        """Current virtual time of this rank (seconds)."""
+        return self.proc.clock
+
+    def compute(self, seconds: float) -> None:
+        """Charge pure local computation time."""
+        self.proc.advance(seconds)
+
+
+class SimMPI:
+    """Launcher for simulated MPI jobs.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks.
+    ranks_per_node:
+        Placement density (1 = paper default, one rank per node).
+    perf:
+        Full :class:`~repro.net.PerfModel` override; built from defaults when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        ranks_per_node: int = 1,
+        perf: PerfModel | None = None,
+        schedule: str = "deterministic",
+        schedule_seed: int = 0,
+    ):
+        self.nprocs = nprocs
+        self.schedule = schedule
+        self.schedule_seed = schedule_seed
+        self.perf = perf or PerfModel.default(nprocs, ranks_per_node)
+        if self.perf.topology.nprocs != nprocs:
+            raise ValueError(
+                f"perf model built for {self.perf.topology.nprocs} ranks, "
+                f"job has {nprocs}"
+            )
+        self._world: SimWorld | None = None
+
+    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``program(mpi, *args, **kwargs)`` on every rank.
+
+        Returns the list of per-rank return values.  The elapsed virtual
+        time is available afterwards as :attr:`elapsed`.
+        """
+        world = SimWorld(self.nprocs, schedule=self.schedule, seed=self.schedule_seed)
+        self._world = world
+
+        def entry(proc: SimProcess, *a: Any, **kw: Any) -> Any:
+            return program(MPIProcess(proc, self.perf), *a, **kw)
+
+        return world.run(entry, *args, **kwargs)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual makespan of the last run (max over rank clocks)."""
+        if self._world is None:
+            raise RuntimeError("no job has been run yet")
+        return self._world.max_clock
+
+    @property
+    def clocks(self) -> list[float]:
+        """Per-rank final virtual clocks of the last run."""
+        if self._world is None:
+            raise RuntimeError("no job has been run yet")
+        return self._world.clocks

@@ -1,0 +1,612 @@
+"""MPI-3 RMA windows over simulated shared memory.
+
+A :class:`Window` exposes one byte buffer per rank.  All the paper-relevant
+semantics are implemented:
+
+* collective creation (:meth:`Window.allocate` / :meth:`Window.create`) with
+  an ``info`` dictionary (CLaMPI reads its operational mode from it);
+* passive-target epochs — ``lock``/``unlock`` for one target,
+  ``lock_all``/``unlock_all`` for all, ``flush``/``flush_all`` to complete
+  outstanding operations; active-target ``fence``;
+* non-blocking ``get``/``put``: functionally the payload moves immediately
+  (single address space), but *virtual time* completes only at the next
+  synchronisation call, reproducing RDMA overlap behaviour;
+* an **epoch counter** ``eph`` counting concluded epochs since window
+  creation (paper Sec. II-A) — every synchronisation that completes
+  operations (flush, flush_all, unlock, unlock_all, fence) is an
+  epoch-closure event and bumps it;
+* epoch-closure hooks, the integration point used by CLaMPI to materialise
+  PENDING cache entries "at the epoch closure time or after a
+  synchronization call" (paper Sec. II).
+
+Simplification (documented in DESIGN.md): because ranks share one address
+space and the MPI standard already forbids conflicting put/get in the same
+epoch, payloads are copied at issue time; only the clocks honour the
+asynchronous completion model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.mpi.comm import Communicator
+from repro.mpi.datatypes import BYTE, Datatype, from_numpy
+from repro.mpi.errors import EpochError, WindowError
+
+LOCK_SHARED = "shared"
+LOCK_EXCLUSIVE = "exclusive"
+
+#: Fixed CPU cost of a flush/unlock synchronisation call.
+SYNC_OVERHEAD = 50e-9
+
+_window_ids = itertools.count()
+
+
+@dataclass
+class _PendingOp:
+    """A posted but (time-wise) incomplete RMA operation."""
+
+    target: int
+    issue_clock: float
+    duration: float
+
+
+class _WindowGroup:
+    """State shared by all per-rank views of one window (one address space)."""
+
+    def __init__(self, nprocs: int):
+        self.win_id = next(_window_ids)
+        self.buffers: list[np.ndarray] = [np.empty(0, np.uint8)] * nprocs
+        self.disp_units: list[int] = [1] * nprocs
+        self.infos: list[Mapping[str, Any]] = [{}] * nprocs
+        self.freed = False
+
+
+class Request:
+    """Completion handle of a request-based RMA operation (MPI_Rget/Rput).
+
+    ``wait`` completes *this* operation only — unlike ``flush`` it is not an
+    epoch-closure event, so CLaMPI hooks do not fire and ``eph`` does not
+    advance (matching MPI-3 semantics, where request completion does not
+    imply remote completion ordering of other operations).
+    """
+
+    def __init__(self, window: "Window", op: _PendingOp):
+        self._window = window
+        self._op = op
+        self._done = False
+
+    def test(self) -> bool:
+        """Non-blocking completion probe against the virtual clock."""
+        if self._done:
+            return True
+        proc = self._window._comm.proc
+        if proc.clock >= self._op.issue_clock + self._op.duration:
+            self._finish()
+            return True
+        return False
+
+    def wait(self) -> None:
+        """Block (advance the virtual clock) until the operation completes."""
+        if self._done:
+            return
+        proc = self._window._comm.proc
+        done_at = self._op.issue_clock + self._op.duration
+        if done_at > proc.clock:
+            proc.advance(done_at - proc.clock)
+        proc.advance(SYNC_OVERHEAD)
+        self._finish()
+
+    def _finish(self) -> None:
+        self._done = True
+        try:
+            self._window._pending.remove(self._op)
+        except ValueError:
+            pass  # a flush already completed it
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+
+class Window:
+    """Per-rank handle to a collectively created RMA window."""
+
+    def __init__(self, comm: Communicator, group: _WindowGroup):
+        self._comm = comm
+        self._group = group
+        self.eph = 0  #: number of concluded epochs since creation (w.eph)
+        self._locked: set[int] = set()
+        self._locked_all = False
+        self._access_group: set[int] = set()    #: PSCW start() targets
+        self._exposure_group: set[int] = set()  #: PSCW post() origins
+        self._pending: list[_PendingOp] = []
+        self._epoch_close_hooks: list[Callable[["Window", set[int] | None], None]] = []
+        self._bytes_transferred = 0  #: diagnostic: payload bytes moved by gets/puts
+        #: diagnostic: payload bytes per Distance class this rank moved
+        self._bytes_by_distance: dict = {}
+
+    # ------------------------------------------------------------------
+    # creation / destruction (collective)
+    # ------------------------------------------------------------------
+    @classmethod
+    def allocate(
+        cls,
+        comm: Communicator,
+        nbytes: int,
+        disp_unit: int = 1,
+        info: Mapping[str, Any] | None = None,
+    ) -> "Window":
+        """Collectively allocate a window of ``nbytes`` local bytes."""
+        if nbytes < 0:
+            raise WindowError(f"negative window size: {nbytes}")
+        buf = np.zeros(nbytes, dtype=np.uint8)
+        return cls.create(comm, buf, disp_unit=disp_unit, info=info)
+
+    @classmethod
+    def create(
+        cls,
+        comm: Communicator,
+        buffer: np.ndarray,
+        disp_unit: int = 1,
+        info: Mapping[str, Any] | None = None,
+    ) -> "Window":
+        """Collectively create a window over an existing local buffer."""
+        if disp_unit < 1:
+            raise WindowError(f"disp_unit must be >= 1, got {disp_unit}")
+        local = np.ascontiguousarray(buffer).view(np.uint8).reshape(-1)
+        shared = comm.allgather(
+            {"buf": local, "du": disp_unit, "info": dict(info or {})}
+        )
+        # Rank 0 constructs the shared group; every rank receives the same
+        # object through the broadcast, so win_id and the freed flag are
+        # genuinely shared state (one address space).
+        group: _WindowGroup | None = None
+        if comm.rank == 0:
+            group = _WindowGroup(comm.size)
+            group.buffers = [s["buf"] for s in shared]
+            group.disp_units = [s["du"] for s in shared]
+            group.infos = [s["info"] for s in shared]
+        group = comm.bcast(group, root=0)
+        return cls(comm, group)
+
+    def free(self) -> None:
+        """Collectively free the window."""
+        self._require_no_epoch("free")
+        self._comm.barrier()
+        self._group.freed = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def comm(self) -> Communicator:
+        return self._comm
+
+    @property
+    def win_id(self) -> int:
+        return self._group.win_id
+
+    @property
+    def info(self) -> Mapping[str, Any]:
+        """Info keys this rank passed at creation."""
+        return self._group.infos[self._comm.rank]
+
+    @property
+    def local_buffer(self) -> np.ndarray:
+        """This rank's exposed memory as a uint8 array."""
+        return self._group.buffers[self._comm.rank]
+
+    def local_view(self, dtype: np.dtype | type) -> np.ndarray:
+        """This rank's exposed memory viewed with a NumPy dtype."""
+        return self.local_buffer.view(np.dtype(dtype))
+
+    def size_of(self, rank: int) -> int:
+        """Exposed bytes of ``rank``'s window."""
+        self._check_rank(rank)
+        return int(self._group.buffers[rank].nbytes)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total payload bytes this rank moved over the (virtual) network."""
+        return self._bytes_transferred
+
+    @property
+    def bytes_by_distance(self) -> dict:
+        """Payload bytes split by :class:`~repro.net.Distance` class.
+
+        Lets applications see how much of their RMA traffic stayed on-node
+        vs crossed group boundaries — the locality the Fig. 1 hierarchy is
+        about.
+        """
+        return dict(self._bytes_by_distance)
+
+    # ------------------------------------------------------------------
+    # epochs
+    # ------------------------------------------------------------------
+    def lock(self, rank: int, lock_type: str = LOCK_SHARED) -> None:
+        """Open a passive-target access epoch towards ``rank``."""
+        self._check_alive()
+        self._check_rank(rank)
+        if lock_type not in (LOCK_SHARED, LOCK_EXCLUSIVE):
+            raise EpochError(f"unknown lock type: {lock_type}")
+        if self._locked_all or rank in self._locked:
+            raise EpochError(f"rank {rank} is already locked")
+        self._locked.add(rank)
+
+    def lock_all(self) -> None:
+        """Open a passive-target access epoch towards every rank."""
+        self._check_alive()
+        if self._locked_all or self._locked:
+            raise EpochError("lock_all inside an existing epoch")
+        self._locked_all = True
+
+    def unlock(self, rank: int) -> None:
+        """Complete outstanding ops to ``rank`` and close its epoch."""
+        self._check_alive()
+        if rank not in self._locked:
+            raise EpochError(f"unlock({rank}) without a matching lock")
+        self._complete({rank})
+        self._locked.discard(rank)
+        self._close_epoch({rank})
+
+    def unlock_all(self) -> None:
+        """Complete all outstanding ops and close the lock_all epoch."""
+        self._check_alive()
+        if not self._locked_all:
+            raise EpochError("unlock_all without lock_all")
+        self._complete(None)
+        self._locked_all = False
+        self._close_epoch(None)
+
+    def flush(self, rank: int) -> None:
+        """Complete outstanding ops to ``rank`` without releasing the lock.
+
+        Like the paper (Listing 1: ``MPI_Win_flush(peer, win); //closes
+        epoch``) we treat flush as an epoch-closure event for consistency
+        purposes: ``eph`` is bumped and closure hooks fire.
+        """
+        self._check_alive()
+        self._require_epoch(rank, "flush")
+        self._complete({rank})
+        self._close_epoch({rank})
+
+    def flush_all(self) -> None:
+        """Complete all outstanding ops without releasing any lock."""
+        self._check_alive()
+        if not (self._locked_all or self._locked):
+            raise EpochError("flush_all outside an access epoch")
+        self._complete(None)
+        self._close_epoch(None)
+
+    def fence(self) -> None:
+        """Active-target synchronisation: collective epoch boundary."""
+        self._check_alive()
+        if self._locked_all or self._locked or self._access_group:
+            raise EpochError("fence inside another access epoch")
+        self._complete(None)
+        self._comm.barrier()
+        self._close_epoch(None)
+
+    # -- generalised active target (PSCW) ------------------------------
+    def start(self, group: set[int] | list[int]) -> None:
+        """Open an access epoch towards the ranks in ``group`` (MPI_Win_start).
+
+        The simulated runtime has no asynchronous target-side progress, so
+        ``start`` pairs with the targets' :meth:`post` purely through the
+        shared group bookkeeping; time-wise it charges one notification
+        latency per target.
+        """
+        self._check_alive()
+        if self._locked_all or self._locked or self._access_group:
+            raise EpochError("start inside an existing access epoch")
+        targets = set(group)
+        for r in targets:
+            self._check_rank(r)
+        self._access_group = targets
+        perf = self._comm.perf
+        for r in targets:
+            self._comm.proc.advance(perf.issue_time(self._comm.rank, r, 0))
+
+    def complete(self) -> None:
+        """Close the PSCW access epoch (MPI_Win_complete)."""
+        self._check_alive()
+        if not self._access_group:
+            raise EpochError("complete without a matching start")
+        self._complete(None)
+        group = self._access_group
+        self._access_group = set()
+        self._close_epoch(set(group))
+
+    def post(self, group: set[int] | list[int]) -> None:
+        """Expose the local window to ``group`` (MPI_Win_post).
+
+        Functionally a no-op in the single-address-space simulation (the
+        memory is always reachable); retained for API fidelity and charged a
+        notification latency.
+        """
+        self._check_alive()
+        targets = set(group)
+        for r in targets:
+            self._check_rank(r)
+        self._exposure_group = targets
+
+    def wait(self) -> None:
+        """Wait for all access epochs on the local window (MPI_Win_wait).
+
+        The deterministic scheduler cannot block a target on specific
+        initiators without a full matching protocol; programs bracket PSCW
+        phases with a barrier, which dominates its cost anyway.
+        """
+        self._check_alive()
+        self._exposure_group = set()
+        self._comm.barrier()
+
+    def add_epoch_close_hook(
+        self, hook: Callable[["Window", set[int] | None], None]
+    ) -> None:
+        """Register ``hook(window, targets)`` to run at each epoch closure.
+
+        ``targets`` is the set of target ranks whose operations were
+        completed, or ``None`` meaning "all".  Hooks run *before* ``eph`` is
+        incremented and may charge virtual time via the communicator's
+        process handle.
+        """
+        self._epoch_close_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # one-sided operations
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> int:
+        """Post a non-blocking get; returns the payload size in bytes.
+
+        ``origin`` must be a contiguous NumPy array with room for the payload
+        (``datatype.size * count`` bytes).  ``target_disp`` is expressed in
+        the target's ``disp_unit``.  The data is visible in ``origin``
+        immediately (simulation simplification) but the virtual clock only
+        accounts completion at the next synchronisation.
+        """
+        datatype, count = self._resolve_dtype(origin, count, datatype)
+        payload = self._access(target_rank, target_disp, count, datatype, "get")
+        origin_bytes = self._origin_bytes(origin)
+        nbytes = len(payload)
+        if origin_bytes.nbytes < nbytes:
+            raise WindowError(
+                f"origin buffer too small: {origin_bytes.nbytes} < {nbytes}"
+            )
+        origin_bytes[:nbytes] = payload
+        self._post(target_rank, nbytes)
+        return nbytes
+
+    def put(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> int:
+        """Post a non-blocking put; returns the payload size in bytes."""
+        datatype, count = self._resolve_dtype(origin, count, datatype)
+        origin_bytes = self._origin_bytes(origin)
+        nbytes = datatype.transfer_size(count)
+        if origin_bytes.nbytes < nbytes:
+            raise WindowError(
+                f"origin buffer too small: {origin_bytes.nbytes} < {nbytes}"
+            )
+        self._access(
+            target_rank, target_disp, count, datatype, "put",
+            payload=origin_bytes[:nbytes],
+        )
+        self._post(target_rank, nbytes)
+        return nbytes
+
+    def get_blocking(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> int:
+        """Convenience: ``get`` + ``flush(target_rank)``."""
+        n = self.get(origin, target_rank, target_disp, count, datatype)
+        self.flush(target_rank)
+        return n
+
+    def rget(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> Request:
+        """Request-based get (MPI_Rget): complete with ``Request.wait``."""
+        self.get(origin, target_rank, target_disp, count, datatype)
+        return Request(self, self._pending[-1])
+
+    def rput(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> Request:
+        """Request-based put (MPI_Rput)."""
+        self.put(origin, target_rank, target_disp, count, datatype)
+        return Request(self, self._pending[-1])
+
+    def accumulate(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        op: str = "sum",
+        count: int | None = None,
+        datatype: Datatype | None = None,
+    ) -> int:
+        """MPI_Accumulate with a predefined element-wise op.
+
+        ``op`` is ``"sum"``, ``"max"``, ``"min"`` or ``"replace"``; the
+        element type is the origin array's dtype (derived datatypes are not
+        supported for accumulates, matching common MPI restrictions).
+        Accumulates are never cached by CLaMPI (they are writes).
+        """
+        datatype, count = self._resolve_dtype(origin, count, datatype)
+        if not datatype.is_contiguous():
+            raise WindowError("accumulate requires a contiguous datatype")
+        self._check_alive()
+        self._check_rank(target_rank)
+        self._require_epoch(target_rank, "accumulate")
+        if target_disp < 0:
+            raise WindowError(f"negative displacement: {target_disp}")
+        nbytes = datatype.transfer_size(count)
+        obuf = self._origin_bytes(origin)[:nbytes]
+        tbuf = self._group.buffers[target_rank]
+        base = target_disp * self._group.disp_units[target_rank]
+        if base + nbytes > tbuf.nbytes:
+            raise WindowError(
+                f"accumulate out of bounds: [{base}, {base + nbytes}) > "
+                f"window size {tbuf.nbytes} at rank {target_rank}"
+            )
+        np_dtype = origin.dtype
+        src = obuf.view(np_dtype)
+        dst = tbuf[base : base + nbytes].view(np_dtype)
+        if op == "sum":
+            dst += src
+        elif op == "max":
+            np.maximum(dst, src, out=dst)
+        elif op == "min":
+            np.minimum(dst, src, out=dst)
+        elif op == "replace":
+            dst[:] = src
+        else:
+            raise WindowError(f"unknown accumulate op: {op}")
+        self._post(target_rank, nbytes)
+        return nbytes
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve_dtype(
+        self, origin: np.ndarray, count: int | None, datatype: Datatype | None
+    ) -> tuple[Datatype, int]:
+        if datatype is None:
+            datatype = from_numpy(origin.dtype) if origin.dtype != np.uint8 else BYTE
+        if count is None:
+            if datatype.size == 0:
+                count = 0
+            else:
+                count = origin.nbytes // datatype.size
+        if count < 0:
+            raise WindowError(f"negative count: {count}")
+        return datatype, count
+
+    @staticmethod
+    def _origin_bytes(origin: np.ndarray) -> np.ndarray:
+        if not origin.flags["C_CONTIGUOUS"]:
+            raise WindowError("origin buffer must be C-contiguous")
+        return origin.view(np.uint8).reshape(-1)
+
+    def _access(
+        self,
+        target_rank: int,
+        target_disp: int,
+        count: int,
+        datatype: Datatype,
+        kind: str,
+        payload: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Gather (get) or scatter (put) payload bytes at the target."""
+        self._check_alive()
+        self._check_rank(target_rank)
+        self._require_epoch(target_rank, kind)
+        if target_disp < 0:
+            raise WindowError(f"negative displacement: {target_disp}")
+        tbuf = self._group.buffers[target_rank]
+        base = target_disp * self._group.disp_units[target_rank]
+        blocks = datatype.flatten(count)
+        span = blocks[-1][0] + blocks[-1][1] if blocks else 0
+        if base + span > tbuf.nbytes:
+            raise WindowError(
+                f"{kind} out of bounds: disp {base} + span {span} > "
+                f"window size {tbuf.nbytes} at rank {target_rank}"
+            )
+        if kind == "get":
+            if len(blocks) == 1:
+                off, size = blocks[0]
+                return tbuf[base + off : base + off + size]
+            parts = [tbuf[base + off : base + off + size] for off, size in blocks]
+            return np.concatenate(parts) if parts else np.empty(0, np.uint8)
+        # put: scatter payload into the target layout
+        assert payload is not None
+        cursor = 0
+        for off, size in blocks:
+            tbuf[base + off : base + off + size] = payload[cursor : cursor + size]
+            cursor += size
+        return payload
+
+    def _post(self, target_rank: int, nbytes: int) -> None:
+        proc = self._comm.proc
+        perf = self._comm.perf
+        issue = perf.issue_time(self._comm.rank, target_rank, nbytes)
+        proc.advance(issue)
+        duration = perf.get_time(self._comm.rank, target_rank, nbytes)
+        self._pending.append(_PendingOp(target_rank, proc.clock, duration))
+        self._bytes_transferred += nbytes
+        dist = perf.topology.distance(self._comm.rank, target_rank)
+        self._bytes_by_distance[dist] = self._bytes_by_distance.get(dist, 0) + nbytes
+
+    def _complete(self, targets: set[int] | None) -> None:
+        """Advance the clock past completion of the selected pending ops."""
+        proc = self._comm.proc
+        done_at = proc.clock
+        remaining: list[_PendingOp] = []
+        for op in self._pending:
+            if targets is None or op.target in targets:
+                done_at = max(done_at, op.issue_clock + op.duration)
+            else:
+                remaining.append(op)
+        self._pending = remaining
+        if done_at > proc.clock:
+            proc.advance(done_at - proc.clock)
+        proc.advance(SYNC_OVERHEAD)
+
+    def _close_epoch(self, targets: set[int] | None) -> None:
+        for hook in self._epoch_close_hooks:
+            hook(self, targets)
+        self.eph += 1
+
+    def _require_epoch(self, rank: int, what: str) -> None:
+        if not (
+            self._locked_all or rank in self._locked or rank in self._access_group
+        ):
+            raise EpochError(
+                f"{what} towards rank {rank} outside an access epoch "
+                "(call lock/lock_all/start first)"
+            )
+
+    def _require_no_epoch(self, what: str) -> None:
+        if self._locked_all or self._locked or self._access_group:
+            raise EpochError(f"{what} called inside an open access epoch")
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._comm.size:
+            raise WindowError(f"target rank {rank} out of range [0, {self._comm.size})")
+
+    def _check_alive(self) -> None:
+        if self._group.freed:
+            raise WindowError("window has been freed")

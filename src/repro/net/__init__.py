@@ -1,0 +1,22 @@
+"""Interconnect and memory performance models.
+
+This package replaces the Cray Aries / Dragonfly testbed of the paper with a
+parametric virtual-time model:
+
+* :class:`~repro.net.topology.Topology` places ranks on nodes, chassis and
+  groups (Dragonfly-like hierarchy) and classifies rank pairs into
+  :class:`~repro.net.topology.Distance` classes.
+* :class:`~repro.net.model.NetworkModel` charges
+  ``latency(distance) + nbytes / bandwidth(distance)`` for an RMA transfer —
+  the alpha-beta (LogGP-inspired) cost family behind the Fig. 1 curves.
+* :class:`~repro.net.model.MemoryModel` charges local DRAM copies and is the
+  source of the cache-hit cost (lookup + memcpy) in Fig. 7.
+
+Default constants are calibrated against the paper's reported ratios, not
+absolute Piz Daint numbers; see ``DEFAULT_*`` in :mod:`repro.net.model`.
+"""
+
+from repro.net.model import MemoryModel, NetworkModel, PerfModel
+from repro.net.topology import Distance, Topology
+
+__all__ = ["Distance", "MemoryModel", "NetworkModel", "PerfModel", "Topology"]

@@ -1,0 +1,83 @@
+"""Dragonfly-like placement and distance classification.
+
+The paper's Fig. 1 shows get latency for several initiator/target mappings on
+a Cray Cascade (Dragonfly) machine: two ranks on the same node, on different
+nodes of the same chassis, of the same group, and in different groups.  We
+model exactly that hierarchy: ranks are packed onto nodes, nodes into
+chassis, chassis into groups, and a rank pair maps to a
+:class:`Distance` class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Distance(IntEnum):
+    """Distance class between two ranks, ordered by increasing latency."""
+
+    SELF = 0          #: same rank (pure local memory access)
+    SAME_NODE = 1     #: different ranks sharing a node (shared memory)
+    SAME_CHASSIS = 2  #: different nodes, same chassis (1 router hop)
+    SAME_GROUP = 3    #: different chassis, same group (intra-group links)
+    REMOTE_GROUP = 4  #: different groups (global optical links)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Hierarchical rank placement.
+
+    Parameters
+    ----------
+    nprocs:
+        Total number of ranks.
+    ranks_per_node:
+        Ranks packed per node ("we map one MPI rank per node" in the paper's
+        default, so 1).
+    nodes_per_chassis, chassis_per_group:
+        Dragonfly geometry (Cray XC: 16 blades x 4 nodes per chassis, 6
+        chassis per group; we default to round numbers).
+    """
+
+    nprocs: int
+    ranks_per_node: int = 1
+    nodes_per_chassis: int = 16
+    chassis_per_group: int = 6
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        for name in ("ranks_per_node", "nodes_per_chassis", "chassis_per_group"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    # -- placement -----------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        self._check(rank)
+        return rank // self.ranks_per_node
+
+    def chassis_of(self, rank: int) -> int:
+        return self.node_of(rank) // self.nodes_per_chassis
+
+    def group_of(self, rank: int) -> int:
+        return self.chassis_of(rank) // self.chassis_per_group
+
+    # -- classification ------------------------------------------------
+    def distance(self, src: int, dst: int) -> Distance:
+        """Distance class between two ranks."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return Distance.SELF
+        if self.node_of(src) == self.node_of(dst):
+            return Distance.SAME_NODE
+        if self.chassis_of(src) == self.chassis_of(dst):
+            return Distance.SAME_CHASSIS
+        if self.group_of(src) == self.group_of(dst):
+            return Distance.SAME_GROUP
+        return Distance.REMOTE_GROUP
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range [0, {self.nprocs})")

@@ -1,0 +1,23 @@
+"""Deterministic cooperative multi-rank runtime with virtual time.
+
+This package is the execution substrate that replaces a real MPI launcher:
+``P`` rank programs run as Python threads, but **exactly one thread executes
+at any moment** and control is handed over only at well-defined blocking
+points (collectives, waits).  Among runnable ranks the scheduler always picks
+the one with the smallest ``(virtual_clock, rank)`` pair, so every run is
+bit-reproducible regardless of OS scheduling.
+
+Each rank owns a *virtual clock* (seconds).  Compute and communication costs
+are charged with :meth:`SimProcess.advance`; synchronising collectives align
+clocks to the maximum participant time, exactly like a barrier on a real
+machine.
+"""
+
+from repro.runtime.scheduler import (
+    DeadlockError,
+    RankFailedError,
+    SimProcess,
+    SimWorld,
+)
+
+__all__ = ["DeadlockError", "RankFailedError", "SimProcess", "SimWorld"]

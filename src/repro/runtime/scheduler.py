@@ -1,0 +1,322 @@
+"""Cooperative deterministic scheduler for simulated multi-rank programs.
+
+Design
+------
+* A :class:`SimWorld` owns ``nprocs`` :class:`SimProcess` handles and one
+  thread per rank.  A single condition variable serialises execution: the
+  thread whose rank equals ``world._current`` runs, everyone else waits.
+* Threads voluntarily release control only inside :meth:`SimProcess.sync`
+  (the generic payload-carrying barrier) or when they finish.  Everything
+  else — including remote-memory reads, which need no target-side CPU — runs
+  straight through while charging the local virtual clock.
+* The next thread to run is always the READY process with the smallest
+  ``(clock, rank)``, which makes runs deterministic and gives collectives
+  max-time semantics identical to a real barrier.
+
+Failure semantics: an exception in any rank aborts the world; the original
+traceback is re-raised from :meth:`SimWorld.run` wrapped in
+:class:`RankFailedError`.  A sync point that can never complete (some ranks
+finished, others waiting) raises :class:`DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from enum import Enum
+from typing import Any, Callable, Sequence
+
+
+class DeadlockError(RuntimeError):
+    """Raised when blocked ranks can never be released."""
+
+
+class RankFailedError(RuntimeError):
+    """Raised by :meth:`SimWorld.run` when a rank program raised."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class _Abort(BaseException):
+    """Internal: unwinds sibling rank threads after another rank failed.
+
+    Derives from BaseException so user-level ``except Exception`` blocks in
+    rank programs cannot swallow the abort.
+    """
+
+
+class _State(Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class SimProcess:
+    """Per-rank handle: virtual clock plus synchronisation primitives.
+
+    Rank programs receive their :class:`SimProcess` as first argument and
+    use it (usually through the :mod:`repro.mpi` layer) to charge time and
+    synchronise.
+    """
+
+    def __init__(self, world: "SimWorld", rank: int):
+        self._world = world
+        self.rank = rank
+        self.clock = 0.0
+        self._state = _State.READY
+        self._sync_gen = -1
+
+    @property
+    def nprocs(self) -> int:
+        return self._world.nprocs
+
+    def advance(self, dt: float) -> None:
+        """Charge ``dt`` virtual seconds to this rank's clock.
+
+        Non-blocking: control is *not* released, so pure local/remote-read
+        sequences run without thread switches.
+        """
+        if dt < 0:
+            raise ValueError(f"negative time advance: {dt}")
+        self.clock += dt
+
+    def sync(self, payload: Any = None, extra_time: float = 0.0) -> list[Any]:
+        """Payload-carrying barrier over all live ranks.
+
+        Blocks until every non-finished rank has called :meth:`sync`; all
+        participants leave with ``clock = max(participant clocks) +
+        extra_time`` and receive the list of payloads indexed by rank
+        (``None`` for ranks that already finished).
+
+        This single primitive is the substrate for every MPI collective
+        (barrier, bcast, allgather, allreduce, ...) in :mod:`repro.mpi`.
+        """
+        return self._world._sync(self, payload, extra_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimProcess(rank={self.rank}, clock={self.clock:.3e}, state={self._state})"
+
+
+class SimWorld:
+    """Runs one program per rank under deterministic cooperative scheduling.
+
+    ``schedule="deterministic"`` (default) always runs the READY process
+    with the smallest ``(clock, rank)``.  ``schedule="random"`` picks a
+    seeded-random READY process instead — virtual times are unaffected
+    (clocks are per-rank and collectives take the max), but shared-state
+    interleavings differ, which the test suite uses to verify that programs
+    do not depend on scheduling order.
+    """
+
+    def __init__(self, nprocs: int, schedule: str = "deterministic", seed: int = 0):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if schedule not in ("deterministic", "random"):
+            raise ValueError(f"unknown schedule: {schedule}")
+        self._schedule = schedule
+        self._rng = random.Random(seed)
+        self.nprocs = nprocs
+        self._procs = [SimProcess(self, r) for r in range(nprocs)]
+        self._cond = threading.Condition()
+        self._current: int | None = None
+        self._failure: tuple[int, BaseException] | None = None
+        self._deadlock: str | None = None
+        # sync-point bookkeeping (generation counter allows reuse)
+        self._sync_gen = 0
+        self._sync_payloads: dict[int, Any] = {}
+        self._sync_results: list[Any] | None = None
+        self._pending_extra = 0.0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Any],
+        *args: Any,
+        programs: Sequence[Callable[..., Any]] | None = None,
+        **kwargs: Any,
+    ) -> list[Any]:
+        """Execute ``program(proc, *args, **kwargs)`` on every rank.
+
+        ``programs`` may instead provide one callable per rank (MPMD).
+        Returns the per-rank return values.  A :class:`SimWorld` is
+        single-shot: create a fresh world for every run.
+        """
+        if self._started:
+            raise RuntimeError("SimWorld instances are single-shot; create a new one")
+        self._started = True
+        if programs is not None:
+            if len(programs) != self.nprocs:
+                raise ValueError("programs must have one entry per rank")
+            targets = list(programs)
+        else:
+            targets = [program] * self.nprocs
+
+        results: list[Any] = [None] * self.nprocs
+        threads = []
+        for proc, target in zip(self._procs, targets):
+            t = threading.Thread(
+                target=self._thread_main,
+                args=(proc, target, args, kwargs, results),
+                name=f"sim-rank-{proc.rank}",
+                daemon=True,
+            )
+            threads.append(t)
+
+        with self._cond:
+            for t in threads:
+                t.start()
+            self._dispatch_next_locked()
+            self._cond.wait_for(
+                lambda: all(p._state is _State.DONE for p in self._procs)
+                or self._failure is not None
+                or self._deadlock is not None
+            )
+        for t in threads:
+            t.join(timeout=30.0)
+        if self._failure is not None:
+            rank, exc = self._failure
+            raise RankFailedError(rank, exc) from exc
+        if self._deadlock is not None:
+            raise DeadlockError(self._deadlock)
+        return results
+
+    @property
+    def clocks(self) -> list[float]:
+        """Virtual clocks of all ranks (valid after :meth:`run`)."""
+        return [p.clock for p in self._procs]
+
+    @property
+    def max_clock(self) -> float:
+        return max(self.clocks)
+
+    # ------------------------------------------------------------------
+    # thread body
+    # ------------------------------------------------------------------
+    def _thread_main(
+        self,
+        proc: SimProcess,
+        target: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        results: list[Any],
+    ) -> None:
+        try:
+            self._wait_for_turn(proc)
+        except _Abort:
+            return
+        try:
+            results[proc.rank] = target(proc, *args, **kwargs)
+        except _Abort:
+            return
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            with self._cond:
+                if self._failure is None:
+                    self._failure = (proc.rank, exc)
+                proc._state = _State.DONE
+                self._cond.notify_all()
+            return
+        with self._cond:
+            proc._state = _State.DONE
+            self._dispatch_next_locked()
+            self._cond.notify_all()
+
+    def _wait_for_turn(self, proc: SimProcess) -> None:
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._current == proc.rank
+                or self._failure is not None
+                or self._deadlock is not None
+            )
+            if self._failure is not None or self._deadlock is not None:
+                proc._state = _State.DONE
+                self._cond.notify_all()
+                raise _Abort()
+            proc._state = _State.RUNNING
+
+    # ------------------------------------------------------------------
+    # scheduling internals (all called with self._cond held)
+    # ------------------------------------------------------------------
+    def _dispatch_next_locked(self) -> None:
+        ready = [p for p in self._procs if p._state is _State.READY]
+        if not ready:
+            blocked = [p for p in self._procs if p._state is _State.BLOCKED]
+            running = [p for p in self._procs if p._state is _State.RUNNING]
+            if blocked and not running:
+                self._deadlock = (
+                    "ranks "
+                    + ", ".join(str(p.rank) for p in blocked)
+                    + " are blocked in a sync point that can never complete "
+                    "(other ranks already finished)"
+                )
+                self._cond.notify_all()
+            self._current = None
+            return
+        if self._schedule == "random":
+            nxt = ready[self._rng.randrange(len(ready))]
+        else:
+            nxt = min(ready, key=lambda p: (p.clock, p.rank))
+        self._current = nxt.rank
+        self._cond.notify_all()
+
+    def _sync(self, proc: SimProcess, payload: Any, extra_time: float) -> list[Any]:
+        with self._cond:
+            if proc._state is not _State.RUNNING:
+                raise RuntimeError("sync() called by a non-running process")
+            gen = self._sync_gen
+            self._sync_payloads[proc.rank] = payload
+            self._pending_extra = max(self._pending_extra, extra_time)
+            proc._state = _State.BLOCKED
+
+            # A sync point requires *every* rank of the world, exactly like
+            # an MPI collective: a rank that already returned from its
+            # program can never participate, which the dispatcher reports
+            # as a deadlock.
+            blocked = [p for p in self._procs if p._state is _State.BLOCKED]
+            if len(blocked) == self.nprocs:
+                # Last arriver: release everyone (including self).
+                extra = self._pending_extra
+                self._pending_extra = 0.0
+                tmax = max(p.clock for p in blocked) + extra
+                self._sync_results = [
+                    self._sync_payloads.get(r) for r in range(self.nprocs)
+                ]
+                self._sync_payloads = {}
+                self._sync_gen += 1
+                for p in blocked:
+                    p.clock = tmax
+                    p._state = _State.READY
+                results = self._sync_results
+                self._dispatch_next_locked()
+            else:
+                self._dispatch_next_locked()
+                self._cond.wait_for(
+                    lambda: self._sync_gen > gen
+                    or self._failure is not None
+                    or self._deadlock is not None
+                )
+                if self._failure is not None or self._deadlock is not None:
+                    proc._state = _State.DONE
+                    self._cond.notify_all()
+                    raise _Abort()
+                results = self._sync_results
+
+            # Wait until the scheduler actually hands control back to us.
+            self._cond.wait_for(
+                lambda: self._current == proc.rank
+                or self._failure is not None
+                or self._deadlock is not None
+            )
+            if self._failure is not None or self._deadlock is not None:
+                proc._state = _State.DONE
+                self._cond.notify_all()
+                raise _Abort()
+            proc._state = _State.RUNNING
+            assert results is not None
+            return list(results)

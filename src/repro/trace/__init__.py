@@ -1,0 +1,33 @@
+"""Get-trace recording and locality analysis.
+
+The paper motivates RMA caching with two locality studies:
+
+* Fig. 2 — how often the *same* get is repeated in a Barnes-Hut run
+  (up to 3,500 times);
+* Fig. 3 — the distribution of get sizes in an LCC run (variable sizes
+  ⇒ block caches fragment internally).
+
+:class:`~repro.trace.recorder.TraceRecorder` captures ``(trg, dsp, size)``
+tuples from an application run; the analysis helpers compute the reuse
+histogram, the size distribution and Denning working sets
+(``W(t, tau)``, Sec. III-E).
+"""
+
+from repro.trace.advisor import Recommendation, recommend_parameters
+from repro.trace.analysis import (
+    reuse_histogram,
+    size_distribution,
+    working_set_sizes,
+)
+from repro.trace.recorder import GetRecord, TraceRecorder, TracingWindow
+
+__all__ = [
+    "GetRecord",
+    "Recommendation",
+    "TraceRecorder",
+    "TracingWindow",
+    "recommend_parameters",
+    "reuse_histogram",
+    "size_distribution",
+    "working_set_sizes",
+]

@@ -1,0 +1,109 @@
+"""Locality analyses over recorded get traces."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.trace.recorder import GetRecord
+
+
+def reuse_histogram(records: Iterable[GetRecord]) -> dict[int, int]:
+    """Fig. 2: how many distinct gets are repeated ``y`` times.
+
+    Returns ``{repeat_count: number_of_distinct_gets_with_that_count}``.
+    A value like ``{1: 900, 2: 50, 3500: 1}`` reads: 900 gets were issued
+    once, 50 twice, and one get was repeated 3,500 times.
+    """
+    per_key = Counter((r.trg, r.dsp) for r in records)
+    hist: Counter[int] = Counter(per_key.values())
+    return dict(sorted(hist.items()))
+
+
+def size_distribution(
+    records: Iterable[GetRecord], bin_edges: Sequence[int] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 3: histogram of get payload sizes.
+
+    Returns ``(edges, counts)`` with ``len(edges) == len(counts) + 1``.
+    Default bins are powers of two from 8 B to 1 MiB.
+    """
+    sizes = np.array([r.size for r in records], dtype=np.int64)
+    if bin_edges is None:
+        bin_edges = [0] + [2**i for i in range(3, 21)]
+    edges = np.asarray(bin_edges, dtype=np.int64)
+    counts, _ = np.histogram(sizes, bins=edges)
+    return edges, counts
+
+
+def reuse_fraction(records: Sequence[GetRecord]) -> float:
+    """Fraction of gets that re-access already-seen (trg, dsp) data."""
+    if not records:
+        return 0.0
+    seen: set[tuple[int, int]] = set()
+    repeats = 0
+    for r in records:
+        key = (r.trg, r.dsp)
+        if key in seen:
+            repeats += 1
+        else:
+            seen.add(key)
+    return repeats / len(records)
+
+
+def working_set_sizes(records: Sequence[GetRecord], tau: int) -> np.ndarray:
+    """Denning working sets ``|W(t, tau)|`` along the trace (Sec. III-E).
+
+    ``W(t, tau)`` is the set of distinct gets issued in ``[t - tau, t]``;
+    returns one value per position ``t`` in the trace.
+    """
+    if tau < 1:
+        raise ValueError("tau must be >= 1")
+    out = np.zeros(len(records), dtype=np.int64)
+    window: Counter[tuple[int, int]] = Counter()
+    for t, r in enumerate(records):
+        window[(r.trg, r.dsp)] += 1
+        if t >= tau:
+            old = records[t - tau]
+            okey = (old.trg, old.dsp)
+            window[okey] -= 1
+            if window[okey] == 0:
+                del window[okey]
+        out[t] = len(window)
+    return out
+
+
+def working_set_bytes(records: Sequence[GetRecord], tau: int) -> np.ndarray:
+    """Total distinct bytes in the working set at each trace position.
+
+    The quantity bounded by |S_w| in the paper's constraint
+    ``sum_{g in gamma(t,tau)} size(g) <= |S_w|``.
+    """
+    if tau < 1:
+        raise ValueError("tau must be >= 1")
+    out = np.zeros(len(records), dtype=np.int64)
+    window: Counter[tuple[int, int]] = Counter()
+    sizes: dict[tuple[int, int], int] = {}
+    total = 0
+    for t, r in enumerate(records):
+        key = (r.trg, r.dsp)
+        if window[key] == 0:
+            sizes[key] = r.size
+            total += r.size
+        else:
+            # keep the largest size seen for the key
+            if r.size > sizes[key]:
+                total += r.size - sizes[key]
+                sizes[key] = r.size
+        window[key] += 1
+        if t >= tau:
+            old = records[t - tau]
+            okey = (old.trg, old.dsp)
+            window[okey] -= 1
+            if window[okey] == 0:
+                total -= sizes.pop(okey)
+                del window[okey]
+        out[t] = total
+    return out

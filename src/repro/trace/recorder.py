@@ -1,0 +1,62 @@
+"""Recording get traces from application runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GetRecord:
+    """One recorded get: identity (trg, dsp) plus payload size in bytes."""
+
+    trg: int
+    dsp: int
+    size: int
+
+
+class TraceRecorder:
+    """Accumulates :class:`GetRecord` tuples (one recorder per rank)."""
+
+    def __init__(self) -> None:
+        self.records: list[GetRecord] = []
+
+    def record(self, trg: int, dsp: int, size: int) -> None:
+        self.records.append(GetRecord(trg, dsp, size))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def sizes(self) -> np.ndarray:
+        return np.array([r.size for r in self.records], dtype=np.int64)
+
+    def keys(self) -> list[tuple[int, int]]:
+        """The (trg, dsp) identity of every recorded get, in order."""
+        return [(r.trg, r.dsp) for r in self.records]
+
+
+class TracingWindow:
+    """Window wrapper that records every get before forwarding it.
+
+    Works over any get-capable window (plain, CLaMPI, block-cached), so the
+    same application code produces both measurements and traces.
+    """
+
+    def __init__(self, window: Any, recorder: TraceRecorder):
+        self._win = window
+        self.recorder = recorder
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._win, name)
+
+    def get(self, origin, target_rank, target_disp, count=None, datatype=None) -> int:
+        nbytes = self._win.get(origin, target_rank, target_disp, count, datatype)
+        self.recorder.record(target_rank, target_disp, nbytes)
+        return nbytes
+
+    def get_blocking(self, origin, target_rank, target_disp, count=None, datatype=None) -> int:
+        nbytes = self._win.get_blocking(origin, target_rank, target_disp, count, datatype)
+        self.recorder.record(target_rank, target_disp, nbytes)
+        return nbytes

@@ -1,0 +1,143 @@
+"""LibLSB-style robust statistics for benchmark reporting.
+
+The paper (Sec. IV) reports medians with nonparametric 95% confidence
+intervals and repeats each experiment until the CI is within 5% of the
+median, following Hoefler & Belli, "Scientific Benchmarking of Parallel
+Computing Systems" (SC'15).  This module implements the same machinery:
+
+* :func:`median` — sample median.
+* :func:`confidence_interval_median` — distribution-free CI on the median
+  via binomial order statistics.
+* :func:`repeat_until_confident` — run a measurement callable until the CI
+  half-width falls below a relative tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+def median(samples: Sequence[float]) -> float:
+    """Return the sample median (average of middle pair for even n)."""
+    if not samples:
+        raise ValueError("median of empty sample")
+    ordered = sorted(samples)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _z_for_confidence(confidence: float) -> float:
+    """Normal quantile for a two-sided confidence level.
+
+    Only a handful of levels are used by the harness; a small table keeps us
+    independent of scipy at runtime.
+    """
+    table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    best = min(table, key=lambda lvl: abs(lvl - confidence))
+    if abs(best - confidence) > 1e-9:
+        # Fall back to an erf-based inversion via bisection.
+        target = (1.0 + confidence) / 2.0
+        lo, hi = 0.0, 10.0
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < target:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+    return table[best]
+
+
+def confidence_interval_median(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Distribution-free CI for the median using order statistics.
+
+    For n samples the interval is ``(x_(j), x_(k))`` with
+    ``j = floor(n/2 - z*sqrt(n)/2)`` and ``k = ceil(n/2 + z*sqrt(n)/2)``
+    (1-based ranks, clamped to the sample range).  Requires n >= 3.
+    """
+    n = len(samples)
+    if n < 3:
+        raise ValueError("need at least 3 samples for a median CI")
+    ordered = sorted(samples)
+    z = _z_for_confidence(confidence)
+    half = z * math.sqrt(n) / 2.0
+    j = int(math.floor(n / 2.0 - half))
+    k = int(math.ceil(n / 2.0 + half))
+    j = max(j, 0)
+    k = min(k, n - 1)
+    return float(ordered[j]), float(ordered[k])
+
+
+@dataclass
+class RunStats:
+    """Aggregate of a repeated measurement."""
+
+    samples: list[float] = field(default_factory=list)
+    confidence: float = 0.95
+
+    def add(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def median(self) -> float:
+        return median(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("mean of empty sample")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def ci(self) -> tuple[float, float]:
+        return confidence_interval_median(self.samples, self.confidence)
+
+    def ci_within(self, rel_tol: float) -> bool:
+        """True when the CI lies within ``rel_tol`` of the median."""
+        if self.n < 3:
+            return False
+        med = self.median
+        if med == 0.0:
+            lo, hi = self.ci
+            return lo == hi == 0.0
+        lo, hi = self.ci
+        return (med - lo) <= rel_tol * abs(med) and (hi - med) <= rel_tol * abs(med)
+
+    def summary(self) -> str:
+        med = self.median
+        lo, hi = self.ci if self.n >= 3 else (med, med)
+        return f"median={med:.6g} CI95=[{lo:.6g}, {hi:.6g}] n={self.n}"
+
+
+def repeat_until_confident(
+    measure: Callable[[], float],
+    rel_tol: float = 0.05,
+    min_repetitions: int = 5,
+    max_repetitions: int = 200,
+    confidence: float = 0.95,
+) -> RunStats:
+    """Repeat ``measure`` until the median CI is within ``rel_tol``.
+
+    This mirrors the paper's methodology: "The number of repetitions per
+    experiment is selected such that the 95% confidence interval is no
+    larger than the 5% of the reported median."
+    """
+    if min_repetitions < 3:
+        raise ValueError("min_repetitions must be >= 3")
+    stats = RunStats(confidence=confidence)
+    while stats.n < max_repetitions:
+        stats.add(measure())
+        if stats.n >= min_repetitions and stats.ci_within(rel_tol):
+            break
+    return stats

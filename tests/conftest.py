@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net import MemoryModel, NetworkModel, PerfModel, Topology
+
+
+@pytest.fixture
+def perf4() -> PerfModel:
+    """A 4-rank, one-rank-per-node performance model."""
+    return PerfModel.default(4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def run_job(nprocs: int, program, *args, ranks_per_node: int = 1, **kwargs):
+    """Run a simulated MPI job and return (results, elapsed_seconds)."""
+    from repro.mpi import SimMPI
+
+    mpi = SimMPI(nprocs=nprocs, ranks_per_node=ranks_per_node)
+    results = mpi.run(program, *args, **kwargs)
+    return results, mpi.elapsed

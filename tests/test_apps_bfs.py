@@ -1,0 +1,75 @@
+"""Integration tests for the multi-source BFS extension application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import BFSApp
+from repro.apps.cachespec import CacheSpec
+from repro.util import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def app():
+    return BFSApp(scale=7, edge_factor=8, seed=3)
+
+
+class TestCorrectness:
+    def test_single_source_matches_reference(self, app):
+        run = app.run(3, [0], CacheSpec.fompi())
+        assert np.array_equal(run.distances[0], app.reference_bfs(0))
+
+    def test_multi_source(self, app):
+        sources = [0, 7, 42, 99]
+        run = app.run(4, sources, CacheSpec.clampi_fixed(2048, 2 * MiB))
+        for i, s in enumerate(sources):
+            assert np.array_equal(run.distances[i], app.reference_bfs(s)), s
+
+    def test_cached_equals_uncached(self, app):
+        sources = [3, 11]
+        a = app.run(3, sources, CacheSpec.fompi())
+        b = app.run(3, sources, CacheSpec.clampi_fixed(128, 64 * KiB))
+        assert np.array_equal(a.distances, b.distances)
+
+    def test_isolated_source(self):
+        # a graph where some vertex has no edges
+        app = BFSApp(scale=6, edge_factor=2, seed=1)
+        degrees = app.csr.degrees()
+        isolated = int(np.argmin(degrees))
+        if degrees[isolated] == 0:
+            run = app.run(2, [isolated], CacheSpec.fompi())
+            d = run.distances[0]
+            assert d[isolated] == 0
+            assert np.sum(d >= 0) == 1
+
+    def test_invalid_source_rejected(self, app):
+        with pytest.raises(ValueError):
+            app.run(2, [app.nvertices])
+
+    def test_single_rank(self, app):
+        run = app.run(1, [0], CacheSpec.clampi_fixed(256, 256 * KiB))
+        assert np.array_equal(run.distances[0], app.reference_bfs(0))
+
+
+class TestReuseAcrossSources:
+    def test_later_sources_hit_the_cache(self, app):
+        sources = [0, 1, 2, 3, 4, 5]
+        run = app.run(4, sources, CacheSpec.clampi_fixed(4096, 4 * MiB))
+        st = run.merged_stats()
+        hits = st["hit_full"] + st["hit_pending"] + st["hit_partial"]
+        assert hits > 0.3 * st["gets"]
+
+    def test_caching_speeds_up_multi_source(self, app):
+        sources = list(range(6))
+        f = app.run(4, sources, CacheSpec.fompi())
+        c = app.run(4, sources, CacheSpec.clampi_fixed(4096, 4 * MiB))
+        assert c.elapsed < f.elapsed
+
+    def test_single_source_little_reuse(self, app):
+        """One BFS touches each adjacency ~once: hit ratio should be low."""
+        run = app.run(4, [0], CacheSpec.clampi_fixed(4096, 4 * MiB))
+        st = run.merged_stats()
+        hits = st["hit_full"] + st["hit_pending"] + st["hit_partial"]
+        multi = app.run(4, list(range(6)), CacheSpec.clampi_fixed(4096, 4 * MiB))
+        mst = multi.merged_stats()
+        mhits = mst["hit_full"] + mst["hit_pending"] + mst["hit_partial"]
+        assert mhits / max(mst["gets"], 1) > hits / max(st["gets"], 1)

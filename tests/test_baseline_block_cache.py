@@ -1,0 +1,179 @@
+"""Unit tests for the native block-cache baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BlockCachedWindow
+from repro.mpi import SimMPI, Window
+from repro.util import KiB
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+def make_cache(m, nbytes=16 * KiB, block_size=256, memory_bytes=2 * KiB):
+    raw = Window.allocate(m.comm_world, nbytes)
+    raw.local_buffer[:] = ((np.arange(nbytes) * (m.rank + 2)) % 255).astype(np.uint8)
+    cache = BlockCachedWindow(raw, block_size=block_size, memory_bytes=memory_bytes)
+    m.comm_world.barrier()
+    return cache
+
+
+class TestCorrectness:
+    def test_roundtrip_and_hits(self):
+        def program(m):
+            c = make_cache(m)
+            expected = ((np.arange(16 * KiB) * 3) % 255).astype(np.uint8)
+            c.lock_all()
+            buf = np.empty(100, np.uint8)
+            c.get_blocking(buf, 1, 50)
+            assert np.array_equal(buf, expected[50:150])
+            c.get_blocking(buf, 1, 50)  # same block: hit
+            assert np.array_equal(buf, expected[50:150])
+            c.unlock_all()
+            return c.stats.block_hits, c.stats.block_misses
+
+        results, _ = run(2, program)
+        hits, misses = results[0]
+        assert misses == 1
+        assert hits == 1
+
+    def test_multi_block_request(self):
+        def program(m):
+            c = make_cache(m, block_size=64)
+            expected = ((np.arange(16 * KiB) * 3) % 255).astype(np.uint8)
+            c.lock_all()
+            buf = np.empty(300, np.uint8)  # spans ~5-6 blocks
+            c.get_blocking(buf, 1, 30)
+            c.unlock_all()
+            assert np.array_equal(buf, expected[30:330])
+            return c.stats.block_misses
+
+        results, _ = run(2, program)
+        assert results[0] >= 5
+
+    def test_random_workload_correct(self):
+        def program(m):
+            c = make_cache(m, memory_bytes=1 * KiB)  # tiny: force conflicts
+            expected = ((np.arange(16 * KiB) * 3) % 255).astype(np.uint8)
+            rng = np.random.default_rng(4)
+            c.lock_all()
+            for _ in range(300):
+                dsp = int(rng.integers(0, 15 * KiB))
+                n = int(rng.integers(1, 700))
+                buf = np.empty(n, np.uint8)
+                c.get_blocking(buf, 1, dsp)
+                assert np.array_equal(buf, expected[dsp : dsp + n])
+            c.unlock_all()
+            return True
+
+        results, _ = run(2, program)
+        assert all(results)
+
+    def test_invalidate_forces_refetch(self):
+        def program(m):
+            c = make_cache(m)
+            buf = np.empty(64, np.uint8)
+            c.lock_all()
+            c.get_blocking(buf, 1, 0)
+            c.invalidate()
+            c.get_blocking(buf, 1, 0)
+            c.unlock_all()
+            return c.stats.block_misses, c.stats.invalidations
+
+        results, _ = run(2, program)
+        assert results[0] == (2, 1)
+
+    def test_put_passthrough(self):
+        def program(m):
+            c = make_cache(m)
+            c.lock_all()
+            data = np.full(16, 9, np.uint8)
+            c.put(data, 1, 0)
+            c.flush(1)
+            c.unlock_all()
+            m.comm_world.barrier()
+            return c.local_buffer[:16].tolist() if m.rank == 1 else None
+
+        results, _ = run(2, program)
+        assert results[1] == [9] * 16
+
+
+class TestBehaviour:
+    def test_direct_mapping_conflicts_with_small_memory(self):
+        """Alternating two conflicting blocks thrashes a direct-mapped cache."""
+
+        def program(m):
+            c = make_cache(m, nbytes=64 * KiB, block_size=256, memory_bytes=512)
+            # two slots only: find two displacements mapping to the same slot
+            blocks = list(range(0, 64 * KiB // 256))
+            slots = {}
+            a = b = None
+            for blk in blocks:
+                s = c._slot(1, blk)
+                if s in slots:
+                    a, b = slots[s], blk
+                    break
+                slots[s] = blk
+            assert a is not None
+            buf = np.empty(256, np.uint8)
+            c.lock_all()
+            for _ in range(10):
+                c.get_blocking(buf, 1, a * 256)
+                c.get_blocking(buf, 1, b * 256)
+            c.unlock_all()
+            return c.stats.block_misses
+
+        results, _ = run(2, program)
+        assert results[0] == 20  # every access misses: pure thrash
+
+    def test_more_memory_fewer_conflicts(self):
+        def workload(m, memory_bytes):
+            c = make_cache(m, nbytes=32 * KiB, block_size=256, memory_bytes=memory_bytes)
+            rng = np.random.default_rng(1)
+            hot = rng.integers(0, 31 * KiB, size=40)
+            buf = np.empty(256, np.uint8)
+            c.lock_all()
+            for _ in range(10):
+                for d in hot:
+                    c.get_blocking(buf, 1, int(d))
+            c.unlock_all()
+            return c.stats.block_misses
+
+        small, _ = run(2, lambda m: workload(m, 1 * KiB))
+        large, _ = run(2, lambda m: workload(m, 64 * KiB))
+        assert large[0] < small[0]
+
+    def test_internal_fragmentation_fetches_whole_blocks(self):
+        def program(m):
+            c = make_cache(m, block_size=1024)
+            buf = np.empty(10, np.uint8)  # tiny request
+            c.lock_all()
+            c.get_blocking(buf, 1, 0)
+            c.unlock_all()
+            return c.stats.bytes_fetched
+
+        results, _ = run(2, program)
+        assert results[0] == 1024  # whole block moved for 10 bytes
+
+    def test_disp_unit_rejected(self):
+        def program(m):
+            raw = Window.allocate(m.comm_world, 64, disp_unit=8)
+            BlockCachedWindow(raw)
+
+        from repro.runtime import RankFailedError
+
+        with pytest.raises(RankFailedError):
+            run(1, program)
+
+    def test_invalid_construction(self):
+        def program(m):
+            raw = Window.allocate(m.comm_world, 64)
+            BlockCachedWindow(raw, block_size=128, memory_bytes=64)
+
+        from repro.runtime import RankFailedError
+
+        with pytest.raises(RankFailedError):
+            run(1, program)

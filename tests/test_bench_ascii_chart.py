@@ -1,0 +1,132 @@
+"""Unit tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.bench.ascii_chart import bar_chart, line_chart, sparkline
+from repro.bench.reporting import FigureResult
+
+
+class TestLineChart:
+    def test_basic_dimensions(self):
+        out = line_chart({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_lines) == 5
+
+    def test_markers_placed_at_extremes(self):
+        out = line_chart({"s": [(0, 0), (10, 10)]}, width=20, height=5)
+        lines = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        assert lines[0].rstrip().endswith("*")   # max y at right
+        assert lines[-1].lstrip().startswith("*")  # min y at left
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart({"a": [(0, 0)], "b": [(1, 1)]})
+        assert "* a" in out and "+ b" in out
+
+    def test_title_and_labels(self):
+        out = line_chart(
+            {"s": [(1, 2)]}, title="T", xlabel="size", ylabel="lat", logx=True
+        )
+        assert out.startswith("T")
+        assert "x: size (log)" in out
+        assert "y: lat" in out
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+        assert line_chart({"s": []}) == "(no data)"
+
+    def test_log_x_spreads_decades(self):
+        # with log-x, 1..10..100 should land at roughly even columns
+        out = line_chart(
+            {"s": [(1, 1), (10, 1), (100, 1)]}, width=21, height=3, logx=True
+        )
+        row = next(l for l in out.splitlines() if "*" in l).split("|", 1)[1]
+        cols = [i for i, ch in enumerate(row) if ch == "*"]
+        assert len(cols) == 3
+        gaps = [cols[1] - cols[0], cols[2] - cols[1]]
+        assert abs(gaps[0] - gaps[1]) <= 1
+
+    def test_constant_series_no_crash(self):
+        out = line_chart({"s": [(1, 5), (2, 5), (3, 5)]})
+        assert "*" in out
+
+    def test_log_y_spreads_decades(self):
+        out = line_chart(
+            {"s": [(0, 1), (1, 10), (2, 100)]}, width=5, height=21, logy=True
+        )
+        rows = [
+            i
+            for i, l in enumerate(out.splitlines())
+            if "|" in l and "*" in l.split("|", 1)[1]
+        ]
+        assert len(rows) == 3
+        gaps = [rows[1] - rows[0], rows[2] - rows[1]]
+        assert abs(gaps[0] - gaps[1]) <= 1
+
+    def test_log_y_label(self):
+        out = line_chart({"s": [(1, 2)]}, ylabel="t", logy=True)
+        assert "y: t (log)" in out
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") * 2 == lines[1].count("█")
+
+    def test_zero_value(self):
+        out = bar_chart(["z"], [0.0])
+        assert "█" not in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_title(self):
+        assert bar_chart(["a"], [1.0], title="hello").startswith("hello")
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramps(self):
+        s = sparkline([0, 1, 2, 3, 4, 5])
+        assert s[0] < s[-1]
+
+    def test_flat(self):
+        s = sparkline([3, 3, 3])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestFigureChart:
+    def test_numeric_x_line_chart(self):
+        fig = FigureResult("F", "t", ["x", "a", "b"])
+        fig.rows = [[1, 10, 20], [2, 11, 21], [4, 12, 22]]
+        out = fig.chart()
+        assert "* a" in out and "+ b" in out
+
+    def test_categorical_bar_charts(self):
+        fig = FigureResult("F", "t", ["cfg", "time"])
+        fig.rows = [["alpha", 1.0], ["beta", 3.0]]
+        out = fig.chart()
+        assert "alpha" in out and "█" in out
+
+    def test_mixed_columns_skipped(self):
+        fig = FigureResult("F", "t", ["x", "num", "text"])
+        fig.rows = [[1, 2.0, "hi"], [2, 3.0, "yo"]]
+        out = fig.chart()
+        assert "num" in out and "text" not in out.replace("F: t", "")
+
+    def test_nothing_numeric(self):
+        fig = FigureResult("F", "t", ["a", "b"])
+        fig.rows = [["x", "y"]]
+        assert "nothing numeric" in fig.chart()
+
+    def test_empty_rows(self):
+        assert FigureResult("F", "t", ["a"]).chart() == "(no data)"

@@ -1,0 +1,86 @@
+"""Fast smoke tests of the figure-reproduction entry points.
+
+The full-size runs live in ``benchmarks/``; these only verify that each
+function produces a well-formed FigureResult at toy scale (structure, row
+shapes, note/claim plumbing), so regressions surface in the quick suite.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.figures import ALL_FIGURES, PAPER_SCALE_KWARGS
+from repro.bench.reporting import FigureResult
+from repro.util import KiB
+
+
+def check_shape(fig: FigureResult):
+    assert isinstance(fig, FigureResult)
+    assert fig.rows, f"{fig.figure} produced no rows"
+    for row in fig.rows:
+        assert len(row) == len(fig.headers), f"{fig.figure} ragged row {row}"
+    assert fig.claims, f"{fig.figure} asserts nothing"
+    fig.render()
+    fig.markdown()
+    fig.chart()
+
+
+class TestRegistry:
+    def test_paper_scale_covers_all_figures(self):
+        assert set(PAPER_SCALE_KWARGS) == set(ALL_FIGURES)
+
+    def test_all_figures_are_callables(self):
+        for fn in ALL_FIGURES.values():
+            assert callable(fn)
+            assert fn.__doc__
+
+
+class TestTinyRuns:
+    def test_fig01(self):
+        check_shape(figures.fig01_latency(sizes=[64, 4096]))
+
+    def test_fig02(self):
+        check_shape(figures.fig02_reuse(nbodies=120, nprocs=2))
+
+    def test_fig03(self):
+        check_shape(figures.fig03_sizes(scale=8, edge_factor=8, nprocs=4))
+
+    def test_fig07(self):
+        fig = figures.fig07_access_costs(
+            n_distinct=120, z=1200, data_sizes=[1 * KiB, 4 * KiB]
+        )
+        check_shape(fig)
+        # the foMPI reference row must be populated for every size
+        assert all(v != "-" for v in fig.rows[0][1:])
+
+    def test_fig09(self):
+        check_shape(figures.fig09_adaptive(n_distinct=150, z=1500, hash_sizes=[40, 300]))
+
+    def test_fig10(self):
+        check_shape(
+            figures.fig10_fragmentation(
+                n_distinct=150, z=3000, index_entries=200, checkpoints=4
+            )
+        )
+
+    def test_fig11(self):
+        check_shape(
+            figures.fig11_victim(n_distinct=150, z=2000, hash_sizes=[200, 1200])
+        )
+
+    def test_fig13(self):
+        check_shape(
+            figures.fig13_bh_stats(
+                nbodies=150, nprocs=2, index_entries_list=[16, 512]
+            )
+        )
+
+    def test_fig16(self):
+        check_shape(figures.fig16_lcc_stats(scale=8, edge_factor=8, nprocs=4))
+
+    def test_fig18(self):
+        check_shape(
+            figures.fig18_lcc_weak_stats(
+                verts_per_pe_log2=6, edge_factor=8, procs=[2, 4], storage=256 * KiB,
+                index_entries=2048,
+            )
+        )

@@ -1,0 +1,132 @@
+"""Unit tests for the micro-benchmark workload generator and runner."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cachespec import CacheSpec
+from repro.bench import make_micro_workload, run_micro
+from repro.util import KiB, MiB
+
+
+class TestWorkloadGenerator:
+    def test_shapes(self):
+        wl = make_micro_workload(n_distinct=100, z=500, seed=1)
+        assert wl.n_distinct == 100
+        assert wl.length == 500
+        assert wl.sizes.size == wl.displacements.size == 100
+
+    def test_sizes_are_powers_of_two_in_range(self):
+        wl = make_micro_workload(n_distinct=300, z=300, seed=2, max_exp=16)
+        assert np.all(wl.sizes >= 1)
+        assert np.all(wl.sizes <= 2**16)
+        assert all((s & (s - 1)) == 0 for s in wl.sizes.tolist())
+
+    def test_displacements_disjoint(self):
+        wl = make_micro_workload(n_distinct=200, z=200, seed=3)
+        order = np.argsort(wl.displacements)
+        d = wl.displacements[order]
+        s = wl.sizes[order]
+        for i in range(len(d) - 1):
+            assert d[i] + s[i] <= d[i + 1]
+        assert d[-1] + s[-1] <= wl.window_bytes
+
+    def test_sequence_normal_centered(self):
+        """Sampling ~ N(N/2, N/4): the middle gets dominate (paper Sec IV-A)."""
+        wl = make_micro_workload(n_distinct=1000, z=50_000, seed=4)
+        mid = np.sum((wl.sequence > 250) & (wl.sequence < 750))
+        assert mid / wl.length > 0.6
+        assert wl.sequence.min() >= 0
+        assert wl.sequence.max() < 1000
+
+    def test_deterministic(self):
+        a = make_micro_workload(50, 100, seed=9)
+        b = make_micro_workload(50, 100, seed=9)
+        assert np.array_equal(a.sequence, b.sequence)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_z_smaller_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            make_micro_workload(n_distinct=100, z=50)
+
+    def test_uniform_distribution_flat(self):
+        wl = make_micro_workload(500, 50_000, seed=5, distribution="uniform")
+        counts = np.bincount(wl.sequence, minlength=500)
+        assert counts.max() < 3 * counts.mean()
+
+    def test_zipf_distribution_skewed(self):
+        wl = make_micro_workload(500, 50_000, seed=5, distribution="zipf")
+        counts = np.bincount(wl.sequence, minlength=500)
+        assert counts.max() > 20 * max(np.median(counts), 1)
+
+    def test_zipf_more_cacheable_than_uniform(self):
+        """Skewed reuse is exactly what a small cache exploits."""
+        from repro.apps.cachespec import CacheSpec
+        from repro.util import KiB
+
+        kw = dict(n_distinct=400, z=3000, seed=5)
+        spec = CacheSpec.clampi_fixed(256, 256 * KiB)
+        uni = run_micro(make_micro_workload(distribution="uniform", **kw), spec)
+        zipf = run_micro(make_micro_workload(distribution="zipf", **kw), spec)
+
+        def hits(res):
+            s = res.stats
+            return (s["hit_full"] + s["hit_pending"] + s["hit_partial"]) / s["gets"]
+
+        assert hits(zipf) > hits(uni)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            make_micro_workload(100, 200, distribution="pareto")
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def wl(self):
+        return make_micro_workload(n_distinct=64, z=600, seed=5)
+
+    def test_every_get_classified(self, wl):
+        res = run_micro(wl, CacheSpec.clampi_fixed(256, 4 * MiB))
+        assert len(res.access_types) == wl.length
+        assert "unknown" not in res.access_types
+
+    def test_ample_cache_mostly_hits(self, wl):
+        res = run_micro(wl, CacheSpec.clampi_fixed(256, 16 * MiB))
+        assert res.count("hit_full") + res.count("hit_pending") > 0.7 * wl.length
+        assert res.count("direct") <= wl.n_distinct
+
+    def test_tight_cache_produces_misses(self, wl):
+        res = run_micro(wl, CacheSpec.clampi_fixed(8, 16 * KiB))
+        assert res.count("conflicting") + res.count("capacity") + res.count("failing") > 0
+
+    def test_uncached_run(self, wl):
+        res = run_micro(wl, CacheSpec.fompi())
+        assert set(res.access_types) == {"uncached"}
+        assert res.stats == {}
+
+    def test_latencies_positive_and_monotone_with_size(self, wl):
+        res = run_micro(wl, CacheSpec.fompi())
+        assert np.all(res.latencies > 0)
+        small = res.median_latency("uncached", int(wl.sizes.min()))
+        large = res.median_latency("uncached", int(wl.sizes.max()))
+        assert large > small
+
+    def test_median_latency_missing_returns_none(self, wl):
+        res = run_micro(wl, CacheSpec.fompi())
+        assert res.median_latency("hit_full") is None
+
+    def test_occupancy_recording(self, wl):
+        res = run_micro(
+            wl, CacheSpec.clampi_fixed(256, 64 * KiB), record_occupancy=True
+        )
+        assert res.occupancy is not None
+        assert res.occupancy.shape == (wl.length,)
+        assert np.all((res.occupancy >= 0) & (res.occupancy <= 1))
+
+    def test_completion_time_sums_latencies_roughly(self, wl):
+        res = run_micro(wl, CacheSpec.fompi())
+        assert res.completion_time == pytest.approx(res.latencies.sum(), rel=1e-6)
+
+    def test_hits_make_completion_faster(self, wl):
+        cached = run_micro(wl, CacheSpec.clampi_fixed(256, 16 * MiB))
+        uncached = run_micro(wl, CacheSpec.fompi())
+        assert cached.completion_time < uncached.completion_time

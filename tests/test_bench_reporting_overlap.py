@@ -1,0 +1,111 @@
+"""Unit tests for reporting tables and the overlap methodology."""
+
+import pytest
+
+from repro.bench.overlap import OverlapPoint, measure_overlap
+from repro.bench.reporting import FigureResult, format_table
+from repro.util import KiB
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("---")
+        assert "333" in lines[3]
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456], [12345.6], [0.0001234]])
+        assert "0.123" in out
+        assert "1.23e+04" in out or "12345" in out.replace(",", "")
+        assert "0.000123" in out
+
+    def test_zero(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+
+class TestFigureResult:
+    def test_render_contains_everything(self):
+        fig = FigureResult("Fig. X", "demo", ["a", "b"])
+        fig.rows.append([1, 2])
+        fig.notes.append("a note")
+        fig.add_claim("something holds", True)
+        out = fig.render()
+        assert "Fig. X" in out
+        assert "a note" in out
+        assert "[OK] something holds" in out
+
+    def test_render_flags_mismatches(self):
+        fig = FigureResult("Fig. Y", "demo", ["a"])
+        fig.add_claim("broken", False)
+        assert "[MISMATCH] broken" in fig.render()
+        assert not fig.all_claims_hold
+
+    def test_markdown_table(self):
+        fig = FigureResult("Fig. Z", "demo", ["col1", "col2"])
+        fig.rows.append(["v", 3.5])
+        fig.add_claim("ok", True)
+        md = fig.markdown()
+        assert "| col1 | col2 |" in md
+        assert "| v | 3.5 |" in md
+        assert "**HOLDS**" in md
+
+    def test_all_claims_hold_empty(self):
+        assert FigureResult("f", "t", ["h"]).all_claims_hold
+
+    def test_json_roundtrip(self):
+        import json
+
+        fig = FigureResult("Fig. J", "json demo", ["a", "b"])
+        fig.rows.append([1, 2.5])
+        fig.add_claim("c1", True)
+        fig.add_claim("c2", False)
+        data = json.loads(fig.to_json())
+        assert data["figure"] == "Fig. J"
+        assert data["rows"] == [[1, 2.5]]
+        assert data["claims"][1] == {"claim": "c2", "holds": False}
+        assert data["all_claims_hold"] is False
+
+    def test_cli_json_dir(self, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+
+        rc = main(["fig01", "--json-dir", str(tmp_path)])
+        assert rc == 0
+        data = json.loads((tmp_path / "fig01.json").read_text())
+        assert data["all_claims_hold"] is True
+
+
+class TestOverlap:
+    def test_overlap_point_math(self):
+        # fully hidden: T_ov == T_base -> fraction 1
+        assert OverlapPoint("x", 8, 1.0, 1.0).overlap_fraction == 1.0
+        # fully exposed: T_ov == 2*T_base -> fraction 0
+        assert OverlapPoint("x", 8, 1.0, 2.0).overlap_fraction == 0.0
+        # halfway
+        assert OverlapPoint("x", 8, 1.0, 1.5).overlap_fraction == pytest.approx(0.5)
+        # clamped
+        assert OverlapPoint("x", 8, 1.0, 3.0).overlap_fraction == 0.0
+        assert OverlapPoint("x", 8, 0.0, 1.0).overlap_fraction == 0.0
+
+    def test_fompi_overlap_high(self):
+        p = measure_overlap("fompi", 16 * KiB, repetitions=5)
+        assert p.overlap_fraction > 0.8
+
+    def test_direct_overlap_below_fompi(self):
+        f = measure_overlap("fompi", 16 * KiB, repetitions=5)
+        d = measure_overlap("direct", 16 * KiB, repetitions=5)
+        assert d.overlap_fraction < f.overlap_fraction
+
+    def test_failing_beats_direct_at_large_size(self):
+        d = measure_overlap("direct", 64 * KiB, repetitions=5)
+        fl = measure_overlap("failing", 64 * KiB, repetitions=5)
+        assert fl.overlap_fraction > d.overlap_fraction
+
+    def test_unknown_access_rejected(self):
+        from repro.runtime import RankFailedError
+
+        with pytest.raises(RankFailedError):
+            measure_overlap("bogus", 1024)

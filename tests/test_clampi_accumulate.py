@@ -1,0 +1,76 @@
+"""Accumulate through a cached window: pass-through + invalidation guard."""
+
+import numpy as np
+import pytest
+
+from repro import clampi
+from repro.mpi import SimMPI
+from repro.util import KiB
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+class TestCachedAccumulate:
+    def test_accumulate_applies_and_invalidates(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world, 4 * KiB, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            win.local_view(np.int64)[:] = 10
+            m.comm_world.barrier()
+            if m.rank != 0:
+                m.comm_world.barrier()
+                return None
+            buf = np.empty(64, np.int64)
+            win.lock_all()
+            win.get_blocking(buf, 1, 0)        # cache [0, 512)
+            assert np.all(buf == 10)
+            win.accumulate(np.full(8, 5, np.int64), 1, 0)
+            win.flush(1)
+            m.comm_world.barrier()
+            win.get_blocking(buf, 1, 0)        # must refetch: sees 15s
+            win.unlock_all()
+            assert buf[:8].tolist() == [15] * 8
+            assert buf[8:].tolist() == [10] * 56
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["direct"] == 2    # second get was a miss again
+        assert s["hit_full"] == 0
+
+    def test_accumulate_elsewhere_keeps_cache(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world, 4 * KiB, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            buf = np.empty(64, np.uint8)
+            win.lock_all()
+            win.get_blocking(buf, 1, 0)
+            win.accumulate(np.ones(8, np.int64), 1, 2 * KiB)  # far away
+            win.flush(1)
+            win.get_blocking(buf, 1, 0)        # still a hit
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        assert results[0]["hit_full"] == 1
+
+    def test_accumulate_not_counted_as_get(self):
+        def program(m):
+            win = clampi.window_allocate(m.comm_world, 256)
+            m.comm_world.barrier()
+            win.lock_all()
+            win.accumulate(np.ones(4, np.int64), 0, 0)
+            win.flush(0)
+            win.unlock_all()
+            return win.stats.snapshot()["gets"]
+
+        results, _ = run(2, program)
+        assert results[0] == 0

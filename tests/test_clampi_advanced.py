@@ -1,0 +1,224 @@
+"""Advanced CLaMPI semantics: derived datatypes, partial closures,
+the dual-window pattern, and the facade API."""
+
+import numpy as np
+import pytest
+
+from repro import clampi
+from repro.mpi import BYTE, INT32, SimMPI, Vector, Window
+from repro.util import KiB
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+def make_window(m, mode=clampi.Mode.ALWAYS_CACHE, nbytes=16 * KiB, **cfg):
+    win = clampi.window_allocate(
+        m.comm_world, nbytes, mode=mode,
+        config=clampi.Config(**cfg) if cfg else None,
+    )
+    win.local_view(np.uint8)[:] = ((np.arange(nbytes) * (m.rank + 3)) % 251).astype(
+        np.uint8
+    )
+    m.comm_world.barrier()
+    return win
+
+
+class TestDerivedDatatypes:
+    def test_strided_get_cached_correctly(self):
+        def program(m):
+            win = make_window(m)
+            win.local_view(np.int32)[:] = np.arange(4 * KiB) + 1000 * m.rank
+            m.comm_world.barrier()
+            dt = Vector(8, 1, 4, INT32)  # 8 elements, stride 4
+            buf = np.empty(8, np.int32)
+            win.lock_all()
+            win.get(buf, 1, 0, count=1, datatype=dt)
+            win.flush(1)
+            first = buf.copy()
+            win.get(buf, 1, 0, count=1, datatype=dt)
+            win.flush(1)
+            win.unlock_all()
+            expected = np.arange(0, 32, 4) + 1000
+            assert np.array_equal(first, expected)
+            assert np.array_equal(buf, expected)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        assert results[0]["hit_full"] == 1
+
+    def test_contiguous_get_does_not_hit_strided_entry(self):
+        """Same (trg, dsp) but different layout: must not serve stale bytes."""
+
+        def program(m):
+            win = make_window(m)
+            win.local_view(np.int32)[:] = np.arange(4 * KiB) + 7 * m.rank
+            m.comm_world.barrier()
+            strided = Vector(8, 1, 4, INT32)
+            sbuf = np.empty(8, np.int32)
+            cbuf = np.empty(8, np.int32)
+            win.lock_all()
+            win.get(sbuf, 1, 0, count=1, datatype=strided)
+            win.flush(1)
+            win.get(cbuf, 1, 0, count=8, datatype=INT32)  # contiguous
+            win.flush(1)
+            win.unlock_all()
+            assert np.array_equal(sbuf, np.arange(0, 32, 4) + 7)
+            assert np.array_equal(cbuf, np.arange(8) + 7)
+            return True
+
+        results, _ = run(2, program)
+        assert all(results)
+
+    def test_byte_prefix_of_int_entry_hits(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            big = np.empty(64, np.int32)
+            small = np.empty(16, np.uint8)
+            win.get_blocking(big, 1, 0, count=64, datatype=INT32)
+            win.get_blocking(small, 1, 0, count=16, datatype=BYTE)
+            win.unlock_all()
+            assert np.array_equal(small, big.view(np.uint8)[:16])
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        assert results[0]["hit_full"] == 1
+
+
+class TestPartialEpochClosure:
+    def test_flush_one_peer_keeps_other_pending(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.TRANSPARENT)
+            if m.rank != 0:
+                m.comm_world.barrier()
+                return None
+            a = np.empty(128, np.uint8)
+            b = np.empty(128, np.uint8)
+            win.lock_all()
+            win.get(a, 1, 0)
+            win.get(b, 2, 0)
+            win.flush(1)  # closes only peer 1's ops
+            # peer 2's entry is still PENDING: a same-epoch re-get must
+            # count as a pending hit, not a new miss
+            b2 = np.empty(128, np.uint8)
+            win.get(b2, 2, 0)
+            win.flush_all()
+            win.unlock_all()
+            assert np.array_equal(b, b2)
+            m.comm_world.barrier()
+            return win.stats.snapshot()
+
+        results, _ = run(3, program)
+        s = results[0]
+        assert s["direct"] == 2
+        assert s["hit_pending"] == 1
+
+    def test_transparent_invalidation_is_per_target(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.TRANSPARENT)
+            if m.rank != 0:
+                m.comm_world.barrier()
+                return None
+            buf = np.empty(128, np.uint8)
+            win.lock_all()
+            win.get(buf, 1, 0)
+            win.get(buf, 2, 0)
+            win.flush(1)   # kills peer-1 entries only
+            win.flush(2)   # kills peer-2 entries
+            win.get(buf, 1, 0)  # must be a miss again
+            win.flush_all()
+            win.unlock_all()
+            m.comm_world.barrier()
+            return win.stats.snapshot()
+
+        results, _ = run(3, program)
+        s = results[0]
+        assert s["direct"] == 3
+        assert s["hit_full"] == 0
+
+
+class TestDualWindowPattern:
+    def test_cached_and_uncached_window_same_memory(self):
+        """Sec. III-A: two windows over the same local memory, one cached —
+        the MPI-compliant way to cache per-operation."""
+
+        def program(m):
+            nbytes = 4 * KiB
+            local = ((np.arange(nbytes) * (m.rank + 3)) % 251).astype(np.uint8)
+            raw = Window.create(m.comm_world, local)
+            cached = clampi.window_create(
+                m.comm_world, local, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            m.comm_world.barrier()
+            expected = ((np.arange(nbytes) * 4) % 251).astype(np.uint8)
+            buf = np.empty(256, np.uint8)
+            # hot data through the cached window
+            cached.lock_all()
+            cached.get_blocking(buf, 1, 0)
+            cached.get_blocking(buf, 1, 0)
+            cached.unlock_all()
+            assert np.array_equal(buf, expected[:256])
+            # volatile data through the raw window: never cached
+            raw.lock_all()
+            raw.get(buf, 1, 1024)
+            raw.flush(1)
+            raw.unlock_all()
+            assert np.array_equal(buf, expected[1024:1280])
+            return cached.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["gets"] == 2  # the raw window's get is invisible to CLaMPI
+        assert s["hit_full"] == 1
+
+
+class TestFacade:
+    def test_wrap_existing_window(self):
+        def program(m):
+            raw = Window.allocate(m.comm_world, 1024)
+            win = clampi.wrap(raw, mode=clampi.Mode.TRANSPARENT)
+            assert win.raw is raw
+            assert win.mode is clampi.Mode.TRANSPARENT
+            return True
+
+        results, _ = run(2, program)
+        assert all(results)
+
+    def test_info_key_overrides_argument(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world,
+                256,
+                mode=clampi.Mode.TRANSPARENT,
+                info={clampi.INFO_MODE_KEY: "user_defined"},
+            )
+            return win.mode
+
+        results, _ = run(2, program)
+        assert results == [clampi.Mode.USER_DEFINED] * 2
+
+    def test_invalidate_function(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.USER_DEFINED)
+            win.lock_all()
+            buf = np.empty(64, np.uint8)
+            win.get_blocking(buf, 1, 0)
+            clampi.invalidate(win)
+            win.unlock_all()
+            return win.stats.snapshot()["invalidations"]
+
+        results, _ = run(2, program)
+        assert results == [1, 1]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            clampi.Config(index_entries=0)
+        with pytest.raises(ValueError):
+            clampi.Config(storage_bytes=0)
+        with pytest.raises(ValueError):
+            clampi.Config(num_hashes=1)
+        with pytest.raises(ValueError):
+            clampi.Config(allocator_fit="worst")

@@ -1,0 +1,214 @@
+"""Tests for the extension features: cache bypass, put invalidation guard,
+the paper's Listing-1 pattern, and multi-window independence."""
+
+import numpy as np
+import pytest
+
+from repro import clampi
+from repro.mpi import SimMPI
+from repro.util import KiB
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+def make_window(m, mode=clampi.Mode.ALWAYS_CACHE, nbytes=16 * KiB):
+    win = clampi.window_allocate(m.comm_world, nbytes, mode=mode)
+    win.local_view(np.uint8)[:] = ((np.arange(nbytes) * (m.rank + 3)) % 251).astype(
+        np.uint8
+    )
+    m.comm_world.barrier()
+    return win
+
+
+class TestBypassCache:
+    def test_bypass_is_never_counted_or_cached(self):
+        def program(m):
+            win = make_window(m)
+            buf = np.empty(256, np.uint8)
+            win.lock_all()
+            win.get(buf, 1, 0, bypass_cache=True)
+            win.flush(1)
+            win.get(buf, 1, 0)  # not in cache: this must be a miss
+            win.flush(1)
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["gets"] == 1
+        assert s["direct"] == 1
+
+    def test_bypass_returns_correct_data(self):
+        def program(m):
+            win = make_window(m)
+            expected = ((np.arange(16 * KiB) * 4) % 251).astype(np.uint8)
+            buf = np.empty(256, np.uint8)
+            win.lock_all()
+            win.get(buf, 1, 100, bypass_cache=True)
+            win.flush(1)
+            win.unlock_all()
+            assert np.array_equal(buf, expected[100:356])
+            return True
+
+        results, _ = run(2, program)
+        assert all(results)
+
+
+class TestPutInvalidationGuard:
+    def test_put_drops_overlapping_entry(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.ALWAYS_CACHE)
+            if m.rank != 0:
+                m.comm_world.barrier()
+                m.comm_world.barrier()
+                return None
+            buf = np.empty(256, np.uint8)
+            win.lock_all()
+            win.get_blocking(buf, 1, 0)  # cache [0, 256) of rank 1
+            cached_before = buf.copy()
+            m.comm_world.barrier()
+            # overwrite part of the cached range on the target
+            new = np.full(64, 77, np.uint8)
+            win.put(new, 1, 128)
+            win.flush(1)
+            m.comm_world.barrier()
+            win.get_blocking(buf, 1, 0)  # must re-fetch, seeing the new bytes
+            win.unlock_all()
+            assert np.array_equal(buf[128:192], new)
+            assert not np.array_equal(buf, cached_before)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["direct"] == 2  # the second get was a miss again
+        assert s["hit_full"] == 0
+
+    def test_put_elsewhere_keeps_entry(self):
+        def program(m):
+            win = make_window(m)
+            if m.rank != 0:
+                return None
+            buf = np.empty(256, np.uint8)
+            win.lock_all()
+            win.get_blocking(buf, 1, 0)
+            win.put(np.full(64, 5, np.uint8), 1, 8 * KiB)  # far away
+            win.flush(1)
+            win.get_blocking(buf, 1, 0)  # still cached
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        assert results[0]["hit_full"] == 1
+
+    def test_put_to_other_rank_keeps_entry(self):
+        def program(m):
+            win = make_window(m)
+            if m.rank != 0:
+                return None
+            buf = np.empty(256, np.uint8)
+            win.lock_all()
+            win.get_blocking(buf, 1, 0)
+            win.put(np.full(64, 5, np.uint8), 2, 0)
+            win.flush(2)
+            win.get_blocking(buf, 1, 0)
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(3, program)
+        assert results[0]["hit_full"] == 1
+
+
+class TestListing1Pattern:
+    def test_user_defined_loop_exactly_as_paper(self):
+        """Paper Listing 1: lock, get/get/flush loop, invalidate, unlock."""
+
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.USER_DEFINED)
+            if m.rank != 0:
+                return None
+            peer = 1
+            lbuf1 = np.empty(128, np.uint8)
+            lbuf2 = np.empty(128, np.uint8)
+            win.lock(peer)
+            for _step in range(5):
+                win.get(lbuf1, peer, 0)
+                win.get(lbuf2, peer, 1024)
+                win.flush(peer)  # closes epoch
+            clampi.invalidate(win)
+            win.unlock(peer)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["gets"] == 10
+        assert s["direct"] == 2          # each buffer fetched once
+        assert s["hit_full"] == 8        # all later iterations hit
+        assert s["invalidations"] == 1
+
+    def test_invalidate_between_phases_forces_refetch(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.USER_DEFINED)
+            if m.rank != 0:
+                return None
+            buf = np.empty(128, np.uint8)
+            win.lock(1)
+            for phase in range(3):
+                win.get(buf, 1, 0)
+                win.flush(1)
+                clampi.invalidate(win)
+            win.unlock(1)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["direct"] == 3
+        assert s["invalidations"] == 3
+
+
+class TestMultiWindow:
+    def test_independent_caches(self):
+        def program(m):
+            a = make_window(m, nbytes=4 * KiB)
+            b = make_window(m, nbytes=4 * KiB)
+            if m.rank != 0:
+                return None
+            buf = np.empty(128, np.uint8)
+            a.lock_all()
+            b.lock_all()
+            a.get_blocking(buf, 1, 0)
+            # window b has its own I_w/S_w: same (trg, dsp) is a miss there
+            b.get_blocking(buf, 1, 0)
+            a.unlock_all()
+            b.unlock_all()
+            return a.stats.snapshot(), b.stats.snapshot()
+
+        results, _ = run(2, program)
+        sa, sb = results[0]
+        assert sa["direct"] == 1 and sb["direct"] == 1
+        assert sa["hit_full"] == 0 and sb["hit_full"] == 0
+
+    def test_invalidate_one_window_not_the_other(self):
+        def program(m):
+            a = make_window(m)
+            b = make_window(m)
+            if m.rank != 0:
+                return None
+            buf = np.empty(128, np.uint8)
+            a.lock_all()
+            b.lock_all()
+            a.get_blocking(buf, 1, 0)
+            b.get_blocking(buf, 1, 0)
+            clampi.invalidate(a)
+            a.get_blocking(buf, 1, 0)  # miss: a was invalidated
+            b.get_blocking(buf, 1, 0)  # hit: b untouched
+            a.unlock_all()
+            b.unlock_all()
+            return a.stats.snapshot(), b.stats.snapshot()
+
+        results, _ = run(2, program)
+        sa, sb = results[0]
+        assert sa["direct"] == 2
+        assert sb["hit_full"] == 1

@@ -1,0 +1,81 @@
+"""Golden invariant under mixed reads AND writes.
+
+Extends the read-only golden test: random interleavings of cached gets and
+(uncached, guard-invalidating) puts must always match a shadow memory
+model, under every mode and sizing.  This fuzzes the put-overlap
+invalidation guard together with the whole hit/miss/eviction machinery.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import clampi
+from repro.mpi import SimMPI
+from repro.util import KiB
+
+NBYTES = 8 * KiB
+
+
+def _program(m, ops, config, mode):
+    win = clampi.window_allocate(m.comm_world, NBYTES, mode=mode, config=config)
+    shadow = [
+        ((np.arange(NBYTES) * (r + 7)) % 253).astype(np.uint8)
+        for r in range(m.size)
+    ]
+    win.local_view(np.uint8)[:] = shadow[m.rank]
+    m.comm_world.barrier()
+    if m.rank != 0:
+        m.comm_world.barrier()
+        return True
+    rng = np.random.default_rng(99)
+    win.lock_all()
+    ok = True
+    for kind, trg, dsp, n in ops:
+        trg %= m.size
+        dsp %= NBYTES
+        n = max(1, n % (NBYTES - dsp))
+        if kind == 0:  # cached get
+            buf = np.empty(n, np.uint8)
+            win.get(buf, trg, dsp)
+            win.flush(trg)
+            if not np.array_equal(buf, shadow[trg][dsp : dsp + n]):
+                ok = False
+                break
+        else:  # put through the cache wrapper (invalidation guard)
+            payload = rng.integers(0, 256, n).astype(np.uint8)
+            win.put(payload, trg, dsp)
+            win.flush(trg)
+            shadow[trg][dsp : dsp + n] = payload
+        win.check_invariants()
+    win.unlock_all()
+    m.comm_world.barrier()
+    return ok
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 1),
+            st.integers(0, 2),
+            st.integers(0, NBYTES - 1),
+            st.integers(1, 2 * KiB),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    mode=st.sampled_from([clampi.Mode.ALWAYS_CACHE, clampi.Mode.USER_DEFINED]),
+    index_entries=st.sampled_from([8, 256]),
+    storage_kib=st.sampled_from([2, 32]),
+)
+def test_property_reads_and_writes_match_shadow(ops, mode, index_entries, storage_kib):
+    config = clampi.Config(
+        index_entries=index_entries, storage_bytes=storage_kib * KiB
+    )
+    results = SimMPI(nprocs=3).run(_program, ops, config, mode)
+    assert all(results), "cached window diverged from the shadow under writes"

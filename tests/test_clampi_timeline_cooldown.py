@@ -1,0 +1,105 @@
+"""Tests for the epoch timeline recorder and the controller cooldown."""
+
+import numpy as np
+import pytest
+
+from repro import clampi
+from repro.apps.cachespec import CacheSpec
+from repro.bench import make_micro_workload, run_micro
+from repro.mpi import SimMPI
+from repro.util import KiB
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+class TestTimeline:
+    def test_disabled_by_default(self):
+        def program(m):
+            win = clampi.window_allocate(m.comm_world, 1024)
+            return win.timeline
+
+        results, _ = run(1, program)
+        assert results == [None]
+
+    def test_samples_at_every_epoch_close(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world,
+                4 * KiB,
+                mode=clampi.Mode.ALWAYS_CACHE,
+                config=clampi.Config(record_timeline=True),
+            )
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return []
+            buf = np.empty(64, np.uint8)
+            win.lock_all()
+            for _ in range(5):
+                win.get_blocking(buf, 1, 0)
+            win.unlock_all()
+            return win.timeline
+
+        results, _ = run(2, program)
+        timeline = results[0]
+        assert len(timeline) == 6  # 5 flushes + unlock_all
+        ephs = [t[0] for t in timeline]
+        assert ephs == sorted(ephs)
+        gets = [t[1] for t in timeline]
+        hits = [t[2] for t in timeline]
+        assert gets[-1] == 5
+        assert hits[-1] == 4  # everything after the first get hit
+
+    def test_hit_ratio_rises_as_cache_warms(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world,
+                16 * KiB,
+                mode=clampi.Mode.ALWAYS_CACHE,
+                config=clampi.Config(record_timeline=True),
+            )
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return []
+            rng = np.random.default_rng(1)
+            buf = np.empty(64, np.uint8)
+            win.lock_all()
+            for _ in range(200):
+                win.get_blocking(buf, 1, int(rng.integers(0, 32)) * 64)
+            win.unlock_all()
+            return win.timeline
+
+        results, _ = run(2, program)
+        timeline = results[0]
+        early = timeline[20]
+        late = timeline[-1]
+        assert late[2] / late[1] > early[2] / early[1]
+
+
+class TestCooldown:
+    def _run_adaptive(self, cooldown):
+        wl = make_micro_workload(n_distinct=600, z=6000, seed=2)
+        spec = CacheSpec.clampi_adaptive(
+            32,
+            32 * KiB,
+            adaptive_params=clampi.AdaptiveParams(
+                check_interval=128, cooldown_intervals=cooldown
+            ),
+        )
+        return run_micro(wl, spec)
+
+    def test_cooldown_reduces_adjustment_count(self):
+        eager = self._run_adaptive(0)
+        damped = self._run_adaptive(4)
+        assert damped.stats["adjustments"] <= eager.stats["adjustments"]
+        assert damped.stats["adjustments"] >= 1  # still converges
+
+    def test_cooldown_still_correct(self):
+        res = self._run_adaptive(4)
+        assert res.stats["gets"] == 6000
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            clampi.AdaptiveParams(cooldown_intervals=-1)

@@ -1,0 +1,448 @@
+"""Behavioural tests for CachedWindow: the CLaMPI get_c engine."""
+
+import numpy as np
+import pytest
+
+from repro import clampi
+from repro.mpi import SimMPI
+from repro.util import KiB
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+def make_window(m, mode=clampi.Mode.ALWAYS_CACHE, nbytes=64 * KiB, **cfg_kwargs):
+    cfg = clampi.Config(**cfg_kwargs) if cfg_kwargs else None
+    win = clampi.window_allocate(m.comm_world, nbytes, mode=mode, config=cfg)
+    win.local_view(np.uint8)[:] = (np.arange(nbytes) * (m.rank + 3)) % 251
+    m.comm_world.barrier()
+    return win
+
+
+class TestHitMiss:
+    def test_second_get_is_full_hit(self):
+        def program(m):
+            win = make_window(m)
+            peer = (m.rank + 1) % m.size
+            win.lock_all()
+            buf = np.empty(256, np.uint8)
+            win.get_blocking(buf, peer, 0)
+            first = buf.copy()
+            win.get_blocking(buf, peer, 0)
+            win.unlock_all()
+            assert np.array_equal(buf, first)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        for s in results:
+            assert s["direct"] == 1
+            assert s["hit_full"] == 1
+
+    def test_hit_returns_correct_data(self):
+        def program(m):
+            win = make_window(m)
+            peer = (m.rank + 1) % m.size
+            expected = (np.arange(64 * KiB) * (peer + 3)) % 251
+            win.lock_all()
+            buf = np.empty(512, np.uint8)
+            win.get_blocking(buf, peer, 1000)
+            assert np.array_equal(buf, expected[1000:1512].astype(np.uint8))
+            win.get_blocking(buf, peer, 1000)
+            win.unlock_all()
+            assert np.array_equal(buf, expected[1000:1512].astype(np.uint8))
+            return True
+
+        results, _ = run(4, program)
+        assert all(results)
+
+    def test_hit_is_faster_than_miss(self):
+        def program(m):
+            win = make_window(m)
+            peer = (m.rank + 1) % m.size
+            win.lock_all()
+            buf = np.empty(4096, np.uint8)
+            t0 = m.time
+            win.get_blocking(buf, peer, 0)
+            miss = m.time - t0
+            t0 = m.time
+            win.get_blocking(buf, peer, 0)
+            hit = m.time - t0
+            win.unlock_all()
+            return miss, hit
+
+        results, _ = run(2, program)
+        for miss, hit in results:
+            assert miss > 3 * hit
+
+    def test_different_displacements_are_distinct_entries(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            buf = np.empty(64, np.uint8)
+            for dsp in (0, 64, 128, 192):
+                win.get_blocking(buf, 1, dsp)
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        assert results[0]["direct"] == 4
+        assert results[0]["hit_full"] == 0
+
+    def test_smaller_get_at_same_disp_is_full_hit(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            big = np.empty(1024, np.uint8)
+            small = np.empty(100, np.uint8)
+            win.get_blocking(big, 1, 0)
+            win.get_blocking(small, 1, 0)
+            win.unlock_all()
+            assert np.array_equal(small, big[:100])
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        assert results[0]["hit_full"] == 1
+
+    def test_larger_get_is_partial_hit_and_extends(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            small = np.empty(100, np.uint8)
+            big = np.empty(1024, np.uint8)
+            win.get_blocking(small, 1, 0)
+            win.get_blocking(big, 1, 0)       # partial hit: refetch + extend
+            win.get_blocking(big, 1, 0)       # now full hit on extended entry
+            win.unlock_all()
+            assert np.array_equal(big[:100], small)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["hit_partial"] == 1
+        assert s["hit_full"] == 1
+
+    def test_pending_hit_within_epoch(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            a = np.empty(512, np.uint8)
+            b = np.empty(512, np.uint8)
+            win.get(a, 1, 0)
+            win.get(b, 1, 0)  # same data, same epoch: PENDING hit
+            win.flush(1)
+            win.unlock_all()
+            assert np.array_equal(a, b)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["direct"] == 1
+        assert s["hit_pending"] == 1
+        assert s["bytes_from_network"] == 512
+
+    def test_network_bytes_saved_by_hits(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            buf = np.empty(2048, np.uint8)
+            for _ in range(10):
+                win.get_blocking(buf, 1, 0)
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["bytes_from_network"] == 2048       # one fetch
+        assert s["bytes_from_cache"] == 9 * 2048     # nine hits
+
+
+class TestModes:
+    def test_transparent_invalidates_at_epoch_close(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.TRANSPARENT)
+            win.lock_all()
+            buf = np.empty(256, np.uint8)
+            win.get_blocking(buf, 1, 0)
+            win.get_blocking(buf, 1, 0)  # new epoch: cache was invalidated
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["hit_full"] == 0
+        assert s["direct"] == 2
+
+    def test_transparent_still_serves_intra_epoch(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.TRANSPARENT)
+            win.lock_all()
+            a = np.empty(256, np.uint8)
+            b = np.empty(256, np.uint8)
+            win.get(a, 1, 0)
+            win.get(b, 1, 0)
+            win.flush(1)
+            win.unlock_all()
+            assert np.array_equal(a, b)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        assert results[0]["hit_pending"] == 1
+
+    def test_always_cache_survives_epochs(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.ALWAYS_CACHE)
+            win.lock_all()
+            buf = np.empty(256, np.uint8)
+            for _ in range(5):
+                win.get_blocking(buf, 1, 0)
+            win.unlock_all()
+            m.comm_world.barrier()
+            win.lock(1)
+            win.get_blocking(buf, 1, 0)  # new lock epoch: still cached
+            win.unlock(1)
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["direct"] == 1
+        assert s["hit_full"] == 5
+
+    def test_user_defined_invalidate(self):
+        def program(m):
+            win = make_window(m, mode=clampi.Mode.USER_DEFINED)
+            win.lock_all()
+            buf = np.empty(256, np.uint8)
+            win.get_blocking(buf, 1, 0)
+            win.get_blocking(buf, 1, 0)
+            clampi.invalidate(win)
+            win.get_blocking(buf, 1, 0)  # must re-fetch
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["hit_full"] == 1
+        assert s["direct"] == 2
+        assert s["invalidations"] == 1
+
+    def test_mode_via_info_key(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world, 1024, info={clampi.INFO_MODE_KEY: "always_cache"}
+            )
+            return win.mode
+
+        results, _ = run(2, program)
+        assert results == [clampi.Mode.ALWAYS_CACHE] * 2
+
+
+class TestEvictionBehaviour:
+    def test_capacity_eviction_on_small_storage(self):
+        def program(m):
+            # storage fits only ~4 entries of 1 KiB
+            win = make_window(
+                m,
+                storage_bytes=4 * KiB,
+                index_entries=256,
+            )
+            win.lock_all()
+            buf = np.empty(KiB, np.uint8)
+            for i in range(16):
+                win.get_blocking(buf, 1, i * KiB)
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["capacity"] + s["failing"] > 0
+        assert s["evictions"] > 0
+
+    def test_failing_when_request_exceeds_storage(self):
+        def program(m):
+            win = make_window(m, storage_bytes=1 * KiB, index_entries=64)
+            win.lock_all()
+            buf = np.empty(8 * KiB, np.uint8)
+            win.get_blocking(buf, 1, 0)
+            win.unlock_all()
+            peer_pattern = (np.arange(8 * KiB) * 4) % 251
+            assert np.array_equal(buf, peer_pattern.astype(np.uint8))
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["failing"] == 1
+        assert s["direct"] == 0
+
+    def test_conflicting_accesses_on_tiny_index(self):
+        def program(m):
+            win = make_window(m, index_entries=8, storage_bytes=1024 * KiB)
+            win.lock_all()
+            buf = np.empty(64, np.uint8)
+            for i in range(200):
+                win.get_blocking(buf, 1, i * 64)
+            win.unlock_all()
+            return win.stats.snapshot()
+
+        results, _ = run(2, program)
+        s = results[0]
+        assert s["conflicting"] > 0
+
+    def test_eviction_preserves_correctness(self):
+        """Heavily-thrashed cache still returns byte-correct data."""
+
+        def program(m):
+            win = make_window(m, index_entries=16, storage_bytes=2 * KiB)
+            expected = ((np.arange(64 * KiB) * 4) % 251).astype(np.uint8)
+            win.lock_all()
+            rng = np.random.default_rng(0)
+            for _ in range(300):
+                dsp = int(rng.integers(0, 63)) * KiB
+                n = int(rng.integers(1, KiB))
+                buf = np.empty(n, np.uint8)
+                win.get_blocking(buf, 1, dsp)
+                assert np.array_equal(buf, expected[dsp : dsp + n]), dsp
+            win.unlock_all()
+            return True
+
+        results, _ = run(2, program)
+        assert all(results)
+
+
+class TestAdaptive:
+    def test_adaptive_grows_index_under_conflicts(self):
+        def program(m):
+            win = make_window(
+                m,
+                index_entries=32,
+                storage_bytes=1024 * KiB,
+                adaptive=True,
+                adaptive_params=clampi.AdaptiveParams(check_interval=128),
+            )
+            win.lock_all()
+            buf = np.empty(64, np.uint8)
+            for rounds in range(4):
+                for i in range(500):
+                    win.get_blocking(buf, 1, i * 64)
+            win.unlock_all()
+            return win.index_entries, win.stats.snapshot()
+
+        results, _ = run(2, program)
+        index_entries, s = results[0]
+        assert index_entries > 32
+        assert s["adjustments"] >= 1
+
+    def test_adaptive_grows_storage_under_capacity_pressure(self):
+        def program(m):
+            win = make_window(
+                m,
+                index_entries=4096,
+                storage_bytes=64 * KiB,
+                adaptive=True,
+                adaptive_params=clampi.AdaptiveParams(
+                    check_interval=128, min_storage_bytes=1 * KiB
+                ),
+            )
+            win.lock_all()
+            buf = np.empty(KiB, np.uint8)
+            for rounds in range(4):
+                for i in range(63):
+                    win.get_blocking(buf, 1, i * KiB)
+            win.unlock_all()
+            return win.storage_bytes, win.stats.snapshot()
+
+        results, _ = run(2, program)
+        storage_bytes, _s = results[0]
+        # 63 KiB working set with alignment overhead does not fit 64 KiB of
+        # storage forever; the controller should have grown it.
+        assert storage_bytes >= 64 * KiB
+
+    def test_fixed_strategy_never_adjusts(self):
+        def program(m):
+            win = make_window(m, index_entries=32, adaptive=False)
+            win.lock_all()
+            buf = np.empty(64, np.uint8)
+            for i in range(2000):
+                win.get_blocking(buf, 1, (i % 500) * 64)
+            win.unlock_all()
+            return win.index_entries, win.stats.snapshot()["adjustments"]
+
+        results, _ = run(2, program)
+        assert results[0] == (32, 0)
+
+
+class TestMiscSemantics:
+    def test_put_passthrough_not_cached(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            data = np.arange(16, dtype=np.uint8)
+            win.put(data, 1, 0)
+            win.flush(1)
+            win.unlock_all()
+            return win.stats.snapshot()["gets"]
+
+        results, _ = run(2, program)
+        assert results[0] == 0
+
+    def test_epoch_counter_proxied(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            buf = np.empty(8, np.uint8)
+            win.get_blocking(buf, 1, 0)
+            win.get_blocking(buf, 1, 8)
+            win.unlock_all()
+            return win.eph
+
+        results, _ = run(2, program)
+        assert results[0] == 3  # two flushes + unlock_all
+
+    def test_zero_byte_get(self):
+        def program(m):
+            win = make_window(m)
+            win.lock_all()
+            buf = np.empty(0, np.uint8)
+            n = win.get_blocking(buf, 1, 0)
+            n2 = win.get_blocking(buf, 1, 0)
+            win.unlock_all()
+            return n, n2
+
+        results, _ = run(2, program)
+        assert results[0] == (0, 0)
+
+    def test_epoch_rules_enforced_through_cache(self):
+        from repro.mpi import EpochError
+        from repro.runtime import RankFailedError
+
+        def program(m):
+            win = make_window(m)
+            buf = np.empty(8, np.uint8)
+            win.get(buf, 1, 0)  # no epoch open
+
+        with pytest.raises(RankFailedError) as ei:
+            run(2, program)
+        assert isinstance(ei.value.original, EpochError)
+
+    def test_stats_partition_is_exhaustive(self):
+        """Every get is classified exactly once."""
+
+        def program(m):
+            win = make_window(m, index_entries=32, storage_bytes=8 * KiB)
+            win.lock_all()
+            rng = np.random.default_rng(7)
+            n_gets = 400
+            for _ in range(n_gets):
+                dsp = int(rng.integers(0, 60)) * KiB
+                n = int(rng.integers(1, 2 * KiB))
+                buf = np.empty(n, np.uint8)
+                win.get_blocking(buf, 1, dsp)
+            win.unlock_all()
+            s = win.stats.total
+            assert s.gets == n_gets
+            assert s.hits + s.misses == n_gets
+            return True
+
+        results, _ = run(2, program)
+        assert all(results)

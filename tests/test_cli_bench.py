@@ -1,0 +1,47 @@
+"""Tests for the benchmark CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestBenchCLI:
+    def test_single_figure_renders_table(self, capsys):
+        rc = main(["fig01"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fig. 1" in out
+        assert "[OK]" in out
+
+    def test_markdown_mode(self, capsys):
+        rc = main(["fig01", "--markdown"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "### Fig. 1" in out
+        assert "**HOLDS**" in out
+
+    def test_chart_mode(self, capsys):
+        rc = main(["fig01", "--chart"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "x: size" in out
+
+    def test_ablation_by_id(self, capsys):
+        rc = main(["a4_allocator_fit"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Ablation A4" in out
+
+    def test_unknown_id_errors(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_json_artifact_content(self, tmp_path, capsys):
+        rc = main(["fig01", "--json-dir", str(tmp_path), "--markdown"])
+        capsys.readouterr()
+        assert rc == 0
+        data = json.loads((tmp_path / "fig01.json").read_text())
+        assert data["figure"] == "Fig. 1"
+        assert len(data["rows"]) >= 5

@@ -1,0 +1,143 @@
+"""Unit tests for the adaptive parameter controller (Sec. III-E1)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveController
+from repro.core.config import AdaptiveParams
+from repro.core.stats import AccessType, CacheStats
+from repro.util import KiB, MiB
+
+
+def make_stats(
+    gets=1000,
+    conflicting=0,
+    capacity=0,
+    failing=0,
+    hits=0,
+    eviction_visited=0,
+    eviction_nonempty=0,
+):
+    stats = CacheStats()
+    itv = stats.interval
+    itv.gets = gets
+    itv.conflicting = conflicting
+    itv.capacity = capacity
+    itv.failing = failing
+    itv.hit_full = hits
+    itv.eviction_visited = eviction_visited
+    itv.eviction_nonempty = eviction_nonempty
+    return stats
+
+
+PARAMS = AdaptiveParams(
+    check_interval=100,
+    conflict_threshold=0.05,
+    capacity_threshold=0.10,
+    stable_threshold=0.60,
+    free_space_threshold=0.75,
+    sparsity_threshold=0.25,
+    min_storage_bytes=64 * KiB,
+)
+
+
+class TestIndexRules:
+    def test_conflicts_grow_index(self):
+        c = AdaptiveController(PARAMS)
+        adj = c.evaluate(make_stats(conflicting=100), 1024, 1 * MiB, 0)
+        assert adj is not None
+        assert adj.index_entries == 2048
+        assert "grow index" in adj.reason
+
+    def test_conflicts_below_threshold_no_change(self):
+        c = AdaptiveController(PARAMS)
+        adj = c.evaluate(make_stats(conflicting=10), 1024, 1 * MiB, 0)
+        assert adj is None
+
+    def test_sparsity_shrinks_index(self):
+        c = AdaptiveController(PARAMS)
+        stats = make_stats(eviction_visited=1000, eviction_nonempty=100)
+        adj = c.evaluate(stats, 4096, 1 * MiB, 0)
+        assert adj is not None
+        assert adj.index_entries == 2048
+        assert "shrink index" in adj.reason
+
+    def test_dense_evictions_no_shrink(self):
+        c = AdaptiveController(PARAMS)
+        stats = make_stats(eviction_visited=1000, eviction_nonempty=900)
+        assert c.evaluate(stats, 4096, 1 * MiB, 0) is None
+
+    def test_index_min_bound(self):
+        params = AdaptiveParams(min_index_entries=64)
+        c = AdaptiveController(params)
+        stats = make_stats(eviction_visited=1000, eviction_nonempty=0)
+        adj = c.evaluate(stats, 64, 1 * MiB, 0)
+        assert adj is None  # already at the floor
+
+    def test_index_max_bound(self):
+        params = AdaptiveParams(max_index_entries=1024)
+        c = AdaptiveController(params)
+        adj = c.evaluate(make_stats(conflicting=500), 1024, 1 * MiB, 0)
+        assert adj is None  # already at the ceiling
+
+
+class TestStorageRules:
+    def test_capacity_grows_storage(self):
+        c = AdaptiveController(PARAMS)
+        adj = c.evaluate(make_stats(capacity=80, failing=80), 1024, 1 * MiB, 0)
+        assert adj is not None
+        assert adj.storage_bytes == 2 * MiB
+
+    def test_failing_alone_grows_storage(self):
+        c = AdaptiveController(PARAMS)
+        adj = c.evaluate(make_stats(failing=200), 1024, 1 * MiB, 0)
+        assert adj is not None
+        assert adj.storage_bytes == 2 * MiB
+
+    def test_stable_and_free_shrinks_storage(self):
+        c = AdaptiveController(PARAMS)
+        stats = make_stats(hits=800)
+        adj = c.evaluate(stats, 1024, 2 * MiB, free_bytes=int(1.8 * MiB))
+        assert adj is not None
+        assert adj.storage_bytes == 1 * MiB
+        assert "shrink storage" in adj.reason
+
+    def test_stable_but_tight_no_shrink(self):
+        c = AdaptiveController(PARAMS)
+        stats = make_stats(hits=800)
+        assert c.evaluate(stats, 1024, 2 * MiB, free_bytes=512 * KiB) is None
+
+    def test_free_but_unstable_no_shrink(self):
+        c = AdaptiveController(PARAMS)
+        stats = make_stats(hits=100)  # 10% hits: not stable
+        assert c.evaluate(stats, 1024, 2 * MiB, free_bytes=int(1.9 * MiB)) is None
+
+    def test_storage_min_bound(self):
+        c = AdaptiveController(PARAMS)
+        stats = make_stats(hits=900)
+        adj = c.evaluate(stats, 1024, 64 * KiB, free_bytes=60 * KiB)
+        assert adj is None
+
+
+class TestCombined:
+    def test_both_dimensions_in_one_decision(self):
+        c = AdaptiveController(PARAMS)
+        stats = make_stats(conflicting=100, capacity=200)
+        adj = c.evaluate(stats, 512, 1 * MiB, 0)
+        assert adj is not None
+        assert adj.index_entries == 1024
+        assert adj.storage_bytes == 2 * MiB
+        assert "grow index" in adj.reason and "grow storage" in adj.reason
+
+    def test_growth_preferred_over_shrink_on_conflict_signal(self):
+        """Capacity pressure wins over the shrink rule."""
+        c = AdaptiveController(PARAMS)
+        stats = make_stats(capacity=200, hits=700)
+        adj = c.evaluate(stats, 1024, 1 * MiB, free_bytes=900 * KiB)
+        assert adj is not None
+        assert adj.storage_bytes == 2 * MiB
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveParams(check_interval=0)
+        with pytest.raises(ValueError):
+            AdaptiveParams(index_increase_factor=1.0)

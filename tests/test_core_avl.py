@@ -1,0 +1,135 @@
+"""Unit + property tests for the size-keyed AVL tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.avl import AVLTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = AVLTree()
+        assert len(t) == 0
+        key, val, _steps = t.ceiling(1)
+        assert key is None and val is None
+
+    def test_insert_and_ceiling_exact(self):
+        t = AVLTree()
+        t.insert((100, 0), "a")
+        key, val, _ = t.ceiling(100)
+        assert key == (100, 0) and val == "a"
+
+    def test_ceiling_best_fit_smallest_sufficient(self):
+        t = AVLTree()
+        t.insert((64, 0), "small")
+        t.insert((128, 64), "mid")
+        t.insert((512, 192), "big")
+        key, val, _ = t.ceiling(100)
+        assert val == "mid"
+
+    def test_ceiling_ties_broken_by_offset(self):
+        t = AVLTree()
+        t.insert((128, 500), "late")
+        t.insert((128, 100), "early")
+        _key, val, _ = t.ceiling(128)
+        assert val == "early"
+
+    def test_ceiling_nothing_fits(self):
+        t = AVLTree()
+        t.insert((64, 0), "x")
+        key, _val, _ = t.ceiling(65)
+        assert key is None
+
+    def test_remove(self):
+        t = AVLTree()
+        t.insert((10, 0), "a")
+        t.insert((20, 10), "b")
+        t.remove((10, 0))
+        assert len(t) == 1
+        assert not t.contains((10, 0))
+        assert t.contains((20, 10))
+
+    def test_remove_missing_raises(self):
+        t = AVLTree()
+        with pytest.raises(KeyError):
+            t.remove((1, 1))
+
+    def test_duplicate_insert_raises(self):
+        t = AVLTree()
+        t.insert((5, 5), "x")
+        with pytest.raises(KeyError):
+            t.insert((5, 5), "y")
+
+    def test_items_sorted(self):
+        t = AVLTree()
+        keys = [(30, 1), (10, 2), (20, 3), (10, 1)]
+        for k in keys:
+            t.insert(k, None)
+        assert [k for k, _ in t.items()] == sorted(keys)
+
+    def test_steps_reported_positive(self):
+        t = AVLTree()
+        assert t.insert((1, 1), None) >= 1
+        _k, _v, steps = t.ceiling(1)
+        assert steps >= 1
+        assert t.remove((1, 1)) >= 1
+
+
+class TestBalance:
+    def test_sequential_inserts_stay_logarithmic(self):
+        t = AVLTree()
+        n = 1024
+        for i in range(n):
+            t.insert((i, 0), i)
+        t.check_invariants()
+        # height <= 1.44 log2(n+2): check via steps of a ceiling query
+        _k, _v, steps = t.ceiling(n - 1)
+        assert steps <= 20
+
+    def test_random_mix_keeps_invariants(self):
+        rnd = random.Random(99)
+        t = AVLTree()
+        live = set()
+        for _ in range(2000):
+            if live and rnd.random() < 0.4:
+                k = rnd.choice(sorted(live))
+                t.remove(k)
+                live.discard(k)
+            else:
+                k = (rnd.randrange(100), rnd.randrange(10000))
+                if k not in live:
+                    t.insert(k, None)
+                    live.add(k)
+        t.check_invariants()
+        assert len(t) == len(live)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(1, 50), st.integers(0, 200)),
+        max_size=200,
+    )
+)
+def test_property_avl_matches_reference_model(ops):
+    """AVL behaves like a sorted-dict reference under random insert/remove."""
+    t = AVLTree()
+    model: dict = {}
+    for is_remove, size, off in ops:
+        key = (size, off)
+        if is_remove and key in model:
+            t.remove(key)
+            del model[key]
+        elif not is_remove and key not in model:
+            t.insert(key, size * 1000 + off)
+            model[key] = size * 1000 + off
+    t.check_invariants()
+    assert dict(t.items()) == model
+    # ceiling agrees with brute force for a few probes
+    for want in (1, 10, 25, 51):
+        key, _val, _ = t.ceiling(want)
+        expected = min((k for k in model if k[0] >= want), default=None)
+        assert key == expected

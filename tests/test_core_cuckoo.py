@@ -1,0 +1,192 @@
+"""Unit + property tests for the cuckoo hash index I_w."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cuckoo import CuckooIndex
+
+
+class FakeEntry:
+    """Minimal Indexable."""
+
+    def __init__(self, trg, dsp):
+        self.key = (trg, dsp)
+        self.slot = -1
+
+    def __repr__(self):
+        return f"FakeEntry{self.key}"
+
+
+class TestLookupInsert:
+    def test_miss_on_empty(self):
+        idx = CuckooIndex(16)
+        entry, probes = idx.lookup((0, 0))
+        assert entry is None
+        assert 1 <= probes <= 4
+
+    def test_insert_then_lookup(self):
+        idx = CuckooIndex(16)
+        e = FakeEntry(1, 100)
+        res = idx.insert(e)
+        assert res.success
+        found, _ = idx.lookup((1, 100))
+        assert found is e
+        assert e.slot >= 0
+
+    def test_lookup_probes_bounded_by_p(self):
+        idx = CuckooIndex(64, num_hashes=4)
+        for i in range(40):
+            idx.insert(FakeEntry(0, i))
+        for i in range(40):
+            _e, probes = idx.lookup((0, i))
+            assert probes <= 4
+
+    def test_duplicate_key_rejected(self):
+        idx = CuckooIndex(16)
+        idx.insert(FakeEntry(0, 5))
+        with pytest.raises(ValueError):
+            idx.insert(FakeEntry(0, 5))
+
+    def test_remove(self):
+        idx = CuckooIndex(16)
+        e = FakeEntry(2, 3)
+        idx.insert(e)
+        idx.remove(e)
+        assert idx.lookup((2, 3))[0] is None
+        assert e.slot == -1
+        assert len(idx) == 0
+
+    def test_remove_unstored_raises(self):
+        idx = CuckooIndex(16)
+        with pytest.raises(KeyError):
+            idx.remove(FakeEntry(0, 0))
+
+    def test_len_and_load_factor(self):
+        idx = CuckooIndex(32)
+        for i in range(8):
+            idx.insert(FakeEntry(1, i))
+        assert len(idx) == 8
+        assert idx.load_factor == pytest.approx(0.25)
+
+    def test_clear(self):
+        idx = CuckooIndex(16)
+        entries = [FakeEntry(0, i) for i in range(5)]
+        for e in entries:
+            idx.insert(e)
+        idx.clear()
+        assert len(idx) == 0
+        assert all(e.slot == -1 for e in entries)
+        assert all(idx.lookup(e.key)[0] is None for e in entries)
+
+
+class TestHighLoad:
+    def test_fills_to_high_utilisation(self):
+        """Fotakis et al.: p=4 reaches ~97% utilisation."""
+        idx = CuckooIndex(256, num_hashes=4, max_iterations=64, seed=3)
+        inserted = 0
+        i = 0
+        while inserted < int(0.9 * 256) and i < 1000:
+            if idx.insert(FakeEntry(7, i)).success:
+                inserted += 1
+            i += 1
+        assert inserted >= int(0.9 * 256)
+
+    def test_failure_reports_path_and_homeless(self):
+        idx = CuckooIndex(8, num_hashes=2, max_iterations=8, seed=1)
+        failures = 0
+        for i in range(100):
+            res = idx.insert(FakeEntry(0, i))
+            if not res.success:
+                failures += 1
+                assert res.homeless is not None
+                assert res.path, "failure must expose an insertion path"
+                assert res.homeless in res.path or res.homeless.slot == -1
+        assert failures > 0, "a tiny table must eventually cycle"
+
+    def test_table_consistent_after_failure(self):
+        """After a failed walk every stored entry must still be findable."""
+        idx = CuckooIndex(8, num_hashes=2, max_iterations=8, seed=1)
+        tracked = []
+        for i in range(100):
+            e = FakeEntry(0, i)
+            res = idx.insert(e)
+            if res.success:
+                tracked.append(e)
+            else:
+                # the homeless entry may have been one we tracked
+                if res.homeless in tracked:
+                    tracked.remove(res.homeless)
+                if res.homeless is not e and e not in tracked:
+                    tracked.append(e)
+        for e in tracked:
+            found, _ = idx.lookup(e.key)
+            assert found is e, f"{e} lost after insertion failures"
+
+    def test_insert_after_eviction_succeeds(self):
+        idx = CuckooIndex(8, num_hashes=2, max_iterations=8, seed=1)
+        res = None
+        for i in range(200):
+            res = idx.insert(FakeEntry(0, i))
+            if not res.success:
+                break
+        assert res is not None and not res.success
+        # evict somebody on the path who is stored, then retry the homeless
+        stored = [e for e in res.path if e.slot >= 0]
+        assert stored
+        idx.remove(stored[0])
+        assert idx.insert(res.homeless).success
+
+
+class TestDeterminism:
+    def test_same_seed_same_behaviour(self):
+        def run(seed):
+            idx = CuckooIndex(32, seed=seed)
+            out = []
+            for i in range(60):
+                out.append(idx.insert(FakeEntry(0, i)).success)
+            return out
+
+        assert run(5) == run(5)
+
+    def test_different_capacity_different_hashes(self):
+        a = CuckooIndex(16, seed=1)
+        b = CuckooIndex(64, seed=1)
+        assert a.candidate_slots((0, 1)) != b.candidate_slots((0, 1))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CuckooIndex(0)
+        with pytest.raises(ValueError):
+            CuckooIndex(8, num_hashes=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 1000)),
+        unique=True,
+        max_size=120,
+    ),
+    removals=st.sets(st.integers(0, 119)),
+)
+def test_property_every_live_key_findable(keys, removals):
+    """Insert a batch, remove a subset: lookups always agree with the model."""
+    idx = CuckooIndex(256, seed=11)
+    live = {}
+    for i, key in enumerate(keys):
+        e = FakeEntry(*key)
+        res = idx.insert(e)
+        if res.success:
+            live[key] = e
+        elif res.homeless is not e:
+            live[key] = e
+            del live[res.homeless.key]
+    for i in sorted(removals):
+        if i < len(keys) and keys[i] in live:
+            idx.remove(live.pop(keys[i]))
+    for key, e in live.items():
+        found, probes = idx.lookup(key)
+        assert found is e
+        assert probes <= idx.num_hashes
+    assert len(idx) == len(live)

@@ -1,0 +1,132 @@
+"""Unit tests for cache entries, layout coverage and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.core.entry import CacheEntry, payload_prefix_blocks
+from repro.core.states import EntryState
+from repro.mpi import BYTE, FLOAT64, INT32, Contiguous, Vector
+from repro.net import MemoryModel
+
+
+class TestPayloadPrefixBlocks:
+    def test_exact_prefix(self):
+        blocks = [(0, 10), (20, 10)]
+        assert payload_prefix_blocks(blocks, 10) == [(0, 10)]
+
+    def test_split_block(self):
+        blocks = [(0, 10), (20, 10)]
+        assert payload_prefix_blocks(blocks, 15) == [(0, 10), (20, 5)]
+
+    def test_zero(self):
+        assert payload_prefix_blocks([(0, 10)], 0) == []
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            payload_prefix_blocks([(0, 10)], 11)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            payload_prefix_blocks([], -1)
+
+
+class TestCacheEntry:
+    def test_key_is_trg_dsp(self):
+        e = CacheEntry(3, 128, BYTE, 64)
+        assert e.key == (3, 128)
+        assert e.size == 64
+
+    def test_size_uses_dtype(self):
+        e = CacheEntry(0, 0, FLOAT64, 10)
+        assert e.size == 80
+
+    def test_covers_same_dtype_smaller_count(self):
+        e = CacheEntry(0, 0, INT32, 100)
+        assert e.covers(INT32, 50)
+        assert e.covers(INT32, 100)
+        assert not e.covers(INT32, 101)
+
+    def test_covers_compatible_layout_different_dtype(self):
+        # 50 int32 == 200 bytes == prefix of 100 int32 payload
+        e = CacheEntry(0, 0, INT32, 100)
+        assert e.covers(BYTE, 200)
+        assert e.covers(Contiguous(25, INT32), 2)
+
+    def test_covers_rejects_layout_mismatch(self):
+        # entry holds a strided vector; a contiguous request of the same
+        # payload size reads different target bytes
+        strided = Vector(4, 1, 2, INT32)
+        e = CacheEntry(0, 0, strided, 1)
+        assert e.size == 16
+        assert not e.covers(BYTE, 16)
+        assert e.covers(strided, 1)
+
+    def test_relayout(self):
+        e = CacheEntry(0, 0, BYTE, 10)
+        e.relayout(INT32, 30)
+        assert e.size == 120
+        assert e.dtype is INT32
+
+    def test_transition_enforced(self):
+        from repro.core.states import IllegalTransition
+
+        e = CacheEntry(0, 0, BYTE, 1)
+        with pytest.raises(IllegalTransition):
+            e.transition(EntryState.CACHED)
+        e.transition(EntryState.PENDING)
+        e.transition(EntryState.CACHED)
+        e.transition(EntryState.MISSING)
+
+
+class TestCostModel:
+    def test_accumulates_total(self):
+        cm = CostModel(MemoryModel())
+        cm.lookup()
+        cm.copy(1024)
+        cm.probes(4)
+        assert cm.total > 0
+
+    def test_sink_receives_charges(self):
+        charges = []
+        cm = CostModel(MemoryModel(), sink=charges.append)
+        cm.lookup()
+        cm.eviction_visits(10)
+        assert len(charges) == 2
+        assert sum(charges) == pytest.approx(cm.total)
+
+    def test_lookup_constant(self):
+        cm = CostModel(MemoryModel())
+        cm.lookup()
+        a = cm.total
+        cm.lookup()
+        assert cm.total == pytest.approx(2 * a)
+
+    def test_copy_scales_with_size(self):
+        mem = MemoryModel()
+        cm = CostModel(mem)
+        cm.copy(1024)
+        small = cm.total
+        cm2 = CostModel(mem)
+        cm2.copy(1 << 20)
+        assert cm2.total > 10 * small
+
+    def test_invalidate_scales_with_entries(self):
+        cm1 = CostModel(MemoryModel())
+        cm1.invalidate(0)
+        cm2 = CostModel(MemoryModel())
+        cm2.invalidate(100_000)
+        assert cm2.total > cm1.total
+
+    def test_adjust_scales_with_new_sizes(self):
+        cm1 = CostModel(MemoryModel())
+        cm1.adjust(1024, 1 << 20)
+        cm2 = CostModel(MemoryModel())
+        cm2.adjust(1 << 20, 1 << 30)
+        assert cm2.total > cm1.total
+
+    def test_no_sink_is_fine(self):
+        cm = CostModel()
+        cm.descriptor_updates(3)
+        cm.avl_steps(7)
+        assert cm.total > 0

@@ -1,0 +1,189 @@
+"""Unit + property tests for the contiguous best-fit storage S_w."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.storage import Storage
+from repro.util import CACHE_LINE, align_up
+
+
+class TestAllocate:
+    def test_simple_allocation(self):
+        s = Storage(1024)
+        d = s.allocate(100)
+        assert d is not None
+        assert d.offset == 0
+        assert d.size == align_up(100)
+        assert s.used_bytes == d.size
+
+    def test_alignment_to_cache_line(self):
+        s = Storage(1024)
+        d1 = s.allocate(1)
+        d2 = s.allocate(65)
+        assert d1.size == CACHE_LINE
+        assert d2.size == 2 * CACHE_LINE
+        assert d2.offset % CACHE_LINE == 0
+
+    def test_exhaustion_returns_none(self):
+        s = Storage(256)
+        assert s.allocate(256) is not None
+        assert s.allocate(1) is None
+
+    def test_too_big_returns_none(self):
+        s = Storage(128)
+        assert s.allocate(256) is None
+        assert s.used_bytes == 0
+
+    def test_best_fit_prefers_tightest_hole(self):
+        s = Storage(1024)
+        a = s.allocate(256)   # [0, 256)
+        b = s.allocate(128)   # [256, 384)
+        c = s.allocate(640)   # [384, 1024)
+        s.release(a)          # hole of 256
+        s.release(b)          # adjacent: coalesces to 384 hole... so split again
+        # Re-create two separated holes: realloc the first part
+        a2 = s.allocate(256)
+        assert a2.offset == 0
+        # holes now: [256, 384) of 128
+        d = s.allocate(100)
+        assert d.offset == 256, "best fit must use the tight 128-byte hole"
+
+    def test_zero_byte_allocation_gets_a_line(self):
+        s = Storage(256)
+        d = s.allocate(0)
+        assert d is not None and d.size == CACHE_LINE
+
+    def test_negative_rejected(self):
+        s = Storage(256)
+        with pytest.raises(ValueError):
+            s.allocate(-1)
+
+
+class TestRelease:
+    def test_release_restores_space(self):
+        s = Storage(512)
+        d = s.allocate(512)
+        s.release(d)
+        assert s.free_bytes == 512
+        assert s.allocate(512) is not None
+
+    def test_double_free_rejected(self):
+        s = Storage(512)
+        d = s.allocate(64)
+        s.release(d)
+        with pytest.raises(ValueError):
+            s.release(d)
+
+    def test_coalescing_both_sides(self):
+        s = Storage(3 * CACHE_LINE)
+        a = s.allocate(CACHE_LINE)
+        b = s.allocate(CACHE_LINE)
+        c = s.allocate(CACHE_LINE)
+        s.release(a)
+        s.release(c)
+        assert s.num_free_regions == 2
+        s.release(b)  # merges with both neighbours
+        assert s.num_free_regions == 1
+        assert s.largest_free() == 3 * CACHE_LINE
+        s.check_invariants()
+
+    def test_fragmentation_blocks_large_alloc(self):
+        s = Storage(4 * CACHE_LINE)
+        ds = [s.allocate(CACHE_LINE) for _ in range(4)]
+        s.release(ds[0])
+        s.release(ds[2])
+        # 2 lines free but not adjacent
+        assert s.free_bytes == 2 * CACHE_LINE
+        assert s.allocate(2 * CACHE_LINE) is None
+
+
+class TestAdjacentFree:
+    def test_d_c_computation(self):
+        s = Storage(4 * CACHE_LINE)
+        a = s.allocate(CACHE_LINE)
+        b = s.allocate(CACHE_LINE)
+        c = s.allocate(CACHE_LINE)
+        # layout: a b c [free CACHE_LINE]
+        assert s.adjacent_free(a) == 0
+        assert s.adjacent_free(c) == CACHE_LINE
+        s.release(a)
+        assert s.adjacent_free(b) == CACHE_LINE
+        s.release(c)
+        assert s.adjacent_free(b) == 3 * CACHE_LINE
+
+
+class TestDataIntegrity:
+    def test_write_read_roundtrip(self):
+        s = Storage(1024)
+        d = s.allocate(100)
+        payload = np.arange(100, dtype=np.uint8)
+        s.write(d, payload)
+        assert np.array_equal(s.read(d, 100), payload)
+
+    def test_write_too_big_rejected(self):
+        s = Storage(1024)
+        d = s.allocate(10)  # rounds to 64
+        with pytest.raises(ValueError):
+            s.write(d, np.zeros(65, np.uint8))
+
+    def test_read_from_free_region_rejected(self):
+        s = Storage(1024)
+        d = s.allocate(64)
+        s.release(d)
+        with pytest.raises(ValueError):
+            s.read(d, 1)
+
+    def test_neighbouring_writes_do_not_clobber(self):
+        s = Storage(1024)
+        a = s.allocate(64)
+        b = s.allocate(64)
+        s.write(a, np.full(64, 1, np.uint8))
+        s.write(b, np.full(64, 2, np.uint8))
+        assert np.all(s.read(a, 64) == 1)
+        assert np.all(s.read(b, 64) == 2)
+
+
+class TestFirstFit:
+    def test_first_fit_takes_lowest_offset_hole(self):
+        s = Storage(4 * CACHE_LINE, fit="first")
+        a = s.allocate(CACHE_LINE)
+        b = s.allocate(2 * CACHE_LINE)
+        s.release(a)
+        # best fit would prefer the exact 1-line hole at the END? both holes
+        # fit; first fit must take the offset-0 hole
+        c = s.allocate(CACHE_LINE)
+        assert c.offset == 0
+
+    def test_unknown_fit_rejected(self):
+        with pytest.raises(ValueError):
+            Storage(1024, fit="worst")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 1), st.integers(1, 600)),
+        min_size=1,
+        max_size=150,
+    ),
+    fit=st.sampled_from(["best", "first"]),
+)
+def test_property_storage_never_overlaps_and_accounts(ops, fit):
+    """Random alloc/free: regions disjoint, accounting exact, list coherent."""
+    s = Storage(4096, fit=fit)
+    live = []
+    for kind, size in ops:
+        if kind == 0 or not live:
+            d = s.allocate(size)
+            if d is not None:
+                live.append(d)
+        else:
+            d = live.pop(size % len(live))
+            s.release(d)
+    s.check_invariants()
+    regions = sorted((d.offset, d.end) for d in live)
+    for (o1, e1), (o2, _e2) in zip(regions, regions[1:]):
+        assert e1 <= o2, "live regions overlap"
+    assert s.used_bytes == sum(e - o for o, e in regions)

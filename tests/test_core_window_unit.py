@@ -1,0 +1,120 @@
+"""Focused unit tests for CachedWindow internals not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro import clampi
+from repro.core.states import EntryState
+from repro.mpi import SimMPI
+from repro.util import KiB
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+class TestIntrospection:
+    def test_seq_and_ags_tracking(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world, 4 * KiB, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            win.lock_all()
+            win.get_blocking(np.empty(100, np.uint8), 1, 0)
+            win.get_blocking(np.empty(300, np.uint8), 1, 1024)
+            win.unlock_all()
+            return win.seq_index, win.avg_get_size
+
+        results, _ = run(2, program)
+        seq, ags = results[0]
+        assert seq == 2
+        assert ags == pytest.approx(200.0)
+
+    def test_ags_zero_before_any_get(self):
+        def program(m):
+            win = clampi.window_allocate(m.comm_world, 256)
+            return win.avg_get_size, win.seq_index
+
+        results, _ = run(1, program)
+        assert results[0] == (0.0, 0)
+
+    def test_index_and_storage_exposed(self):
+        def program(m):
+            cfg = clampi.Config(index_entries=128, storage_bytes=64 * KiB)
+            win = clampi.window_allocate(
+                m.comm_world, 4 * KiB, mode=clampi.Mode.ALWAYS_CACHE, config=cfg
+            )
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            win.lock_all()
+            win.get_blocking(np.empty(100, np.uint8), 1, 0)
+            win.unlock_all()
+            return (
+                win.index.capacity,
+                len(win.index),
+                win.storage.capacity,
+                win.storage.used_bytes,
+            )
+
+        results, _ = run(2, program)
+        cap, live, scap, used = results[0]
+        assert cap == 128 and live == 1
+        assert scap == 64 * KiB
+        assert used == 128  # 100 B aligned to two cache lines
+
+    def test_entry_states_after_flush(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world, 4 * KiB, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            buf = np.empty(100, np.uint8)
+            win.lock_all()
+            win.get(buf, 1, 0)
+            mid = [e.state for e in win.index.entries()]
+            win.flush(1)
+            after = [e.state for e in win.index.entries()]
+            win.unlock_all()
+            return mid, after
+
+        results, _ = run(2, program)
+        mid, after = results[0]
+        assert mid == [EntryState.PENDING]
+        assert after == [EntryState.CACHED]
+
+    def test_cost_model_total_accumulates(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world, 4 * KiB, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            buf = np.empty(1024, np.uint8)
+            win.lock_all()
+            win.get_blocking(buf, 1, 0)
+            after_miss = win.cost.total
+            win.get_blocking(buf, 1, 0)
+            after_hit = win.cost.total
+            win.unlock_all()
+            return after_miss, after_hit
+
+        results, _ = run(2, program)
+        after_miss, after_hit = results[0]
+        assert 0 < after_miss < after_hit
+
+    def test_raw_window_shared_buffer(self):
+        def program(m):
+            win = clampi.window_allocate(m.comm_world, 64)
+            win.local_view(np.uint8)[:] = 9
+            return int(win.raw.local_buffer[0]), win.raw.comm.rank == m.rank
+
+        results, _ = run(2, program)
+        assert results == [(9, True), (9, True)]

@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Each example asserts its own correctness internally (forces vs brute force,
+LCC vs the sequential reference, ...), so a clean exit is meaningful.
+Only the quick ones run here; the heavier examples are exercised by the
+application integration tests through the same code paths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "speedup of a hit over the miss" in out
+
+    def test_adaptive_tuning(self):
+        out = run_example("adaptive_tuning.py")
+        assert "adaptive (same start)" in out
+
+    def test_locality_analysis(self):
+        out = run_example("locality_analysis.py")
+        assert "reuse fraction" in out
+        assert "working-set profile" in out
+
+    def test_lcc_graph_small(self):
+        out = run_example("lcc_graph.py", "8", "4")
+        assert "identical LCC values" in out
+
+    def test_multisource_bfs_small(self):
+        out = run_example("multisource_bfs.py", "8", "4")
+        assert "marginal cost per source" in out
+
+    def test_barnes_hut_small(self):
+        out = run_example("barnes_hut_sim.py", "300", "4")
+        assert "identical forces" in out

@@ -1,0 +1,124 @@
+"""Unit tests for the R-MAT generator and CSR structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, rmat_edges, rmat_graph
+
+
+class TestRmatEdges:
+    def test_counts_and_range(self):
+        src, dst = rmat_edges(scale=8, nedges=5000, seed=1)
+        assert src.size == dst.size == 5000
+        assert src.min() >= 0 and src.max() < 256
+        assert dst.min() >= 0 and dst.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(6, 1000, seed=9)
+        b = rmat_edges(6, 1000, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_seed_changes_output(self):
+        a = rmat_edges(6, 1000, seed=1)
+        b = rmat_edges(6, 1000, seed=2)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_skewed_degrees(self):
+        """R-MAT produces scale-free-ish skew: hubs far above the mean."""
+        src, _dst = rmat_edges(10, 2**14, seed=3, noise=0)
+        deg = np.bincount(src, minlength=1024)
+        assert deg.max() > 5 * deg.mean()
+
+    def test_bad_probs_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_zero_edges(self):
+        src, dst = rmat_edges(4, 0)
+        assert src.size == 0
+
+
+class TestRmatGraph:
+    def test_no_self_loops(self):
+        src, dst = rmat_graph(8, 4000, seed=2)
+        assert np.all(src != dst)
+
+    def test_no_duplicates(self):
+        src, dst = rmat_graph(8, 4000, seed=2)
+        keys = set(zip(src.tolist(), dst.tolist()))
+        assert len(keys) == src.size
+
+    def test_symmetric(self):
+        src, dst = rmat_graph(7, 2000, seed=4)
+        keys = set(zip(src.tolist(), dst.tolist()))
+        assert all((v, u) in keys for u, v in keys)
+
+
+class TestCSR:
+    def test_from_edges_basic(self):
+        src = np.array([0, 0, 1, 2])
+        dst = np.array([1, 2, 2, 0])
+        g = CSRGraph.from_edges(src, dst, 3)
+        assert g.nvertices == 3
+        assert g.nedges == 4
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(1).tolist() == [2]
+        assert g.neighbors(2).tolist() == [0]
+
+    def test_neighbors_sorted(self):
+        src = np.array([0, 0, 0])
+        dst = np.array([5, 1, 3])
+        g = CSRGraph.from_edges(src, dst, 6)
+        assert g.neighbors(0).tolist() == [1, 3, 5]
+
+    def test_degrees(self):
+        g = CSRGraph.from_edges(np.array([0, 0, 2]), np.array([1, 2, 1]), 3)
+        assert g.degrees().tolist() == [2, 0, 1]
+        assert g.degree(0) == 2
+
+    def test_has_edge(self):
+        g = CSRGraph.from_edges(np.array([0]), np.array([2]), 3)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(2, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(np.array([0]), np.array([5]), 3)
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.from_edges(np.array([4]), np.array([0]), 6)
+        assert g.degree(2) == 0
+        assert g.neighbors(2).size == 0
+
+    def test_lcc_triangle(self):
+        # triangle 0-1-2: every vertex has LCC 1
+        src = np.array([0, 1, 0, 2, 1, 2])
+        dst = np.array([1, 0, 2, 0, 2, 1])
+        g = CSRGraph.from_edges(src, dst, 3)
+        for v in range(3):
+            assert g.local_clustering(v) == 1.0
+
+    def test_lcc_star(self):
+        # star: centre 0 connected to 1,2,3 with no edges among leaves
+        src = np.array([0, 1, 0, 2, 0, 3])
+        dst = np.array([1, 0, 2, 0, 3, 0])
+        g = CSRGraph.from_edges(src, dst, 4)
+        assert g.local_clustering(0) == 0.0
+
+    def test_lcc_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        src, dst = rmat_graph(7, 600, seed=5)
+        g = CSRGraph.from_edges(src, dst, 128)
+        G = nx.Graph()
+        G.add_nodes_from(range(128))
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        ref = nx.clustering(G)
+        for v in range(128):
+            assert g.local_clustering(v) == pytest.approx(ref[v])
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 0]))

@@ -1,0 +1,121 @@
+"""Unit tests for simulated communicators and collectives."""
+
+import pytest
+
+from repro.mpi import ReduceOp, SimMPI
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+class TestBasics:
+    def test_rank_and_size(self):
+        results, _ = run(4, lambda m: (m.comm_world.rank, m.comm_world.size))
+        assert results == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_compute_charges_time(self):
+        def program(m):
+            m.compute(1e-3)
+            return m.time
+
+        results, _ = run(2, program)
+        assert all(t >= 1e-3 for t in results)
+
+
+class TestCollectives:
+    def test_barrier_aligns_time(self):
+        def program(m):
+            m.compute(1e-6 * m.rank)
+            m.comm_world.barrier()
+            return m.time
+
+        results, _ = run(4, program)
+        assert len(set(results)) == 1
+        assert results[0] > 3e-6  # at least the slowest rank's compute
+
+    def test_allgather(self):
+        def program(m):
+            return m.comm_world.allgather(m.rank**2)
+
+        results, _ = run(4, program)
+        for r in results:
+            assert r == [0, 1, 4, 9]
+
+    def test_bcast_from_nonzero_root(self):
+        def program(m):
+            return m.comm_world.bcast("payload" if m.rank == 2 else None, root=2)
+
+        results, _ = run(4, program)
+        assert results == ["payload"] * 4
+
+    def test_gather_only_root_receives(self):
+        def program(m):
+            return m.comm_world.gather(m.rank, root=1)
+
+        results, _ = run(3, program)
+        assert results[0] is None
+        assert results[1] == [0, 1, 2]
+        assert results[2] is None
+
+    def test_allreduce_sum(self):
+        def program(m):
+            return m.comm_world.allreduce(m.rank + 1, ReduceOp.SUM)
+
+        results, _ = run(4, program)
+        assert results == [10] * 4
+
+    def test_allreduce_max_min(self):
+        def program(m):
+            c = m.comm_world
+            return c.allreduce(m.rank, ReduceOp.MAX), c.allreduce(m.rank, ReduceOp.MIN)
+
+        results, _ = run(5, program)
+        assert results == [(4, 0)] * 5
+
+    def test_allreduce_logical(self):
+        def program(m):
+            c = m.comm_world
+            return (
+                c.allreduce(m.rank > 0, ReduceOp.LAND),
+                c.allreduce(m.rank == 2, ReduceOp.LOR),
+            )
+
+        results, _ = run(3, program)
+        assert results == [(False, True)] * 3
+
+    def test_invalid_root(self):
+        from repro.runtime import RankFailedError
+
+        def program(m):
+            m.comm_world.bcast(1, root=9)
+
+        with pytest.raises(RankFailedError):
+            run(2, program)
+
+    def test_collective_cost_grows_with_ranks(self):
+        def program(m):
+            m.comm_world.barrier()
+            return m.time
+
+        _, mpi2 = run(2, program)
+        _, mpi32 = run(32, program)
+        assert mpi32.elapsed > mpi2.elapsed
+
+
+class TestLauncher:
+    def test_elapsed_before_run_raises(self):
+        mpi = SimMPI(nprocs=2)
+        with pytest.raises(RuntimeError):
+            _ = mpi.elapsed
+
+    def test_perf_mismatch_rejected(self):
+        from repro.net import PerfModel
+
+        with pytest.raises(ValueError):
+            SimMPI(nprocs=4, perf=PerfModel.default(8))
+
+    def test_clocks_exposed(self):
+        _, mpi = run(3, lambda m: m.compute(1e-6))
+        assert len(mpi.clocks) == 3

@@ -1,0 +1,73 @@
+"""Deep-nesting and composition tests for the datatype library."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    BYTE,
+    FLOAT64,
+    INT32,
+    Contiguous,
+    Indexed,
+    SimMPI,
+    Vector,
+    Window,
+)
+
+
+class TestNesting:
+    def test_vector_of_contiguous(self):
+        inner = Contiguous(2, INT32)        # 8-byte blocks
+        dt = Vector(3, 1, 2, inner)         # 3 blocks, stride 2 inners
+        assert dt.size == 24
+        assert dt.extent == (2 * 2 + 1) * 8
+        assert dt.blocks() == [(0, 8), (16, 8), (32, 8)]
+
+    def test_indexed_of_vector(self):
+        strided = Vector(2, 1, 2, BYTE)     # bytes at 0 and 2, extent 3
+        dt = Indexed((1, 1), (0, 2), strided)
+        # element 0 at displacement 0: blocks (0,1),(2,1)
+        # element 1 at displacement 2*3=6: blocks (6,1),(8,1)
+        assert dt.blocks() == [(0, 1), (2, 1), (6, 1), (8, 1)]
+        assert dt.size == 4
+
+    def test_contiguous_of_vector_flattens(self):
+        strided = Vector(2, 1, 2, BYTE)
+        dt = Contiguous(2, strided)
+        assert dt.size == 4
+        total = sum(s for _o, s in dt.flatten(1))
+        assert total == 4
+
+    def test_three_levels(self):
+        l1 = Contiguous(2, BYTE)
+        l2 = Vector(2, 1, 2, l1)
+        l3 = Contiguous(3, l2)
+        assert l3.size == 3 * 2 * 2
+        blocks = l3.flatten(2)
+        assert sum(s for _o, s in blocks) == l3.transfer_size(2)
+        offsets = [o for o, _s in blocks]
+        assert offsets == sorted(offsets)
+
+    def test_transfer_through_window_with_nested_type(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 256)
+            win.local_view(np.uint8)[:] = np.arange(256) % 256
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            inner = Contiguous(2, BYTE)
+            dt = Vector(3, 1, 2, inner)  # bytes {0,1}, {4,5}, {8,9}
+            buf = np.empty(6, np.uint8)
+            win.lock(1)
+            win.get(buf, 1, 10, count=1, datatype=dt)
+            win.unlock(1)
+            return buf.tolist()
+
+        results = SimMPI(nprocs=2).run(program)
+        assert results[0] == [10, 11, 14, 15, 18, 19]
+
+    def test_extent_vs_size_bookkeeping(self):
+        dt = Vector(4, 1, 3, FLOAT64)
+        assert dt.size == 32          # 4 payload elements
+        assert dt.extent == 80        # spans 10 element slots
+        assert dt.flatten(1)[-1] == (72, 8)

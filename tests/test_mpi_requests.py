@@ -1,0 +1,132 @@
+"""Tests for request-based RMA operations (MPI_Rget / MPI_Rput)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SimMPI, Window
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program), mpi
+
+
+class TestRequests:
+    def test_rget_wait_delivers_data(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 64)
+            win.local_view(np.int64)[:] = m.rank + 5
+            m.comm_world.barrier()
+            win.lock_all()
+            buf = np.empty(8, np.int64)
+            req = win.rget(buf, (m.rank + 1) % m.size, 0)
+            req.wait()
+            win.unlock_all()
+            return int(buf[0]), req.done
+
+        results, _ = run(2, program)
+        assert results[0] == (6, True)
+        assert results[1] == (5, True)
+
+    def test_wait_advances_clock(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 1 << 16)
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return 0.0
+            win.lock(1)
+            buf = np.empty(32 * 1024, np.uint8)
+            t0 = m.time
+            req = win.rget(buf, 1, 0)
+            issued = m.time - t0
+            req.wait()
+            waited = m.time - t0
+            win.unlock(1)
+            return issued, waited
+
+        results, _ = run(2, program)
+        issued, waited = results[0]
+        assert issued < 1e-6      # posting is cheap
+        assert waited > 2e-6      # waiting paid the transfer
+
+    def test_test_turns_true_after_compute(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 1 << 16)
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            win.lock(1)
+            buf = np.empty(16 * 1024, np.uint8)
+            req = win.rget(buf, 1, 0)
+            early = req.test()
+            m.compute(1e-3)  # plenty of time for the transfer to land
+            late = req.test()
+            win.unlock(1)
+            return early, late
+
+        results, _ = run(2, program)
+        assert results[0] == (False, True)
+
+    def test_wait_does_not_close_epoch(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 64)
+            m.comm_world.barrier()
+            win.lock_all()
+            buf = np.empty(8, np.uint8)
+            req = win.rget(buf, 0, 0)
+            req.wait()
+            eph_after_wait = win.eph
+            win.flush(0)
+            win.unlock_all()
+            return eph_after_wait, win.eph
+
+        results, _ = run(2, program)
+        assert results[0] == (0, 2)
+
+    def test_flush_after_wait_is_harmless(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 64)
+            m.comm_world.barrier()
+            win.lock_all()
+            buf = np.empty(8, np.uint8)
+            req = win.rget(buf, 0, 0)
+            req.wait()
+            t0 = m.time
+            win.flush(0)  # the op is already completed and removed
+            dt = m.time - t0
+            win.unlock_all()
+            return dt
+
+        results, _ = run(2, program)
+        assert results[0] < 1e-6
+
+    def test_rput_roundtrip(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 64)
+            m.comm_world.barrier()
+            if m.rank == 0:
+                win.lock(1)
+                req = win.rput(np.full(8, 7, np.int64), 1, 0)
+                req.wait()
+                win.unlock(1)
+            m.comm_world.barrier()
+            return win.local_view(np.int64)[0] if m.rank == 1 else None
+
+        results, _ = run(2, program)
+        assert results[1] == 7
+
+    def test_double_wait_idempotent(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 64)
+            win.lock_all()
+            buf = np.empty(8, np.uint8)
+            req = win.rget(buf, 0, 0)
+            req.wait()
+            t = m.time
+            req.wait()
+            assert m.time == t
+            win.unlock_all()
+            return True
+
+        results, _ = run(1, program)
+        assert results == [True]

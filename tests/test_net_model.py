@@ -1,0 +1,89 @@
+"""Unit tests for the network/memory performance models (Fig. 1 hierarchy)."""
+
+import pytest
+
+from repro.net import Distance, MemoryModel, NetworkModel, PerfModel, Topology
+
+
+class TestNetworkModel:
+    def test_latency_hierarchy_spans_orders_of_magnitude(self):
+        """Fig. 1: ~100 ns local DRAM up to 2-3 us remote group."""
+        net = NetworkModel()
+        local = net.transfer_time(Distance.SELF, 8)
+        remote = net.transfer_time(Distance.REMOTE_GROUP, 8)
+        assert local < 200e-9
+        assert 1.5e-6 < remote < 3.5e-6
+        assert remote / local > 10
+
+    def test_monotone_in_distance(self):
+        net = NetworkModel()
+        times = [net.transfer_time(d, 1024) for d in Distance]
+        assert times == sorted(times)
+
+    def test_monotone_in_size(self):
+        net = NetworkModel()
+        sizes = [2**i for i in range(17)]
+        times = [net.transfer_time(Distance.REMOTE_GROUP, s) for s in sizes]
+        assert times == sorted(times)
+
+    def test_bandwidth_dominates_large_messages(self):
+        net = NetworkModel()
+        t = net.transfer_time(Distance.REMOTE_GROUP, 1 << 20)
+        alpha = net.latency[Distance.REMOTE_GROUP]
+        assert t > 10 * alpha
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(Distance.SELF, -1)
+
+    def test_injection_cheaper_than_transfer(self):
+        net = NetworkModel()
+        for d in Distance:
+            assert net.injection_time(d, 4096) < net.transfer_time(d, 4096)
+
+
+class TestMemoryModel:
+    def test_zero_copy_free(self):
+        assert MemoryModel().copy_time(0) == 0.0
+
+    def test_copy_monotone(self):
+        mem = MemoryModel()
+        times = [mem.copy_time(2**i) for i in range(21)]
+        assert times == sorted(times)
+
+    def test_hot_cold_regimes(self):
+        mem = MemoryModel()
+        hot = mem.copy_time(4096) - mem.dram_latency
+        cold = mem.copy_time(65536) - mem.dram_latency
+        assert hot == pytest.approx(4096 / mem.copy_bandwidth_hot)
+        assert cold == pytest.approx(65536 / mem.copy_bandwidth_cold)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel().copy_time(-5)
+
+
+class TestPerfModel:
+    def test_default_builds_matching_topology(self):
+        perf = PerfModel.default(16)
+        assert perf.topology.nprocs == 16
+
+    def test_get_time_uses_distance(self):
+        perf = PerfModel(topology=Topology(nprocs=256))
+        near = perf.get_time(0, 1, 1024)    # same chassis
+        far = perf.get_time(0, 255, 1024)   # remote group
+        assert far > near
+
+    def test_spread_placement_all_remote(self):
+        perf = PerfModel.spread(8)
+        assert perf.topology.distance(0, 7) is Distance.REMOTE_GROUP
+        assert perf.topology.distance(3, 4) is Distance.REMOTE_GROUP
+
+    def test_fig7_hit_vs_miss_ratio_calibration(self):
+        """Paper Fig. 7: hits ~9.3x faster at 4 KiB, ~3.7x at 16 KiB."""
+        perf = PerfModel.spread(2)
+        mem = perf.memory
+        for size, lo, hi in [(4096, 6.0, 11.0), (16384, 3.0, 5.0)]:
+            miss = perf.get_time(0, 1, size) + perf.issue_time(0, 1, size)
+            hit = mem.lookup_time + mem.copy_time(size)
+            assert lo < miss / hit < hi, f"size={size}: ratio {miss / hit:.2f}"

@@ -1,0 +1,72 @@
+"""Unit tests for Dragonfly-like topology and distance classification."""
+
+import pytest
+
+from repro.net import Distance, Topology
+
+
+class TestPlacement:
+    def test_one_rank_per_node(self):
+        topo = Topology(nprocs=8, ranks_per_node=1)
+        assert [topo.node_of(r) for r in range(8)] == list(range(8))
+
+    def test_packed_ranks(self):
+        topo = Topology(nprocs=8, ranks_per_node=4)
+        assert topo.node_of(0) == topo.node_of(3) == 0
+        assert topo.node_of(4) == topo.node_of(7) == 1
+
+    def test_chassis_and_group(self):
+        topo = Topology(nprocs=256, nodes_per_chassis=16, chassis_per_group=6)
+        assert topo.chassis_of(0) == 0
+        assert topo.chassis_of(16) == 1
+        assert topo.group_of(16 * 6 - 1) == 0
+        assert topo.group_of(16 * 6) == 1
+
+
+class TestDistance:
+    def test_self(self):
+        topo = Topology(nprocs=4)
+        assert topo.distance(2, 2) is Distance.SELF
+
+    def test_same_node(self):
+        topo = Topology(nprocs=4, ranks_per_node=2)
+        assert topo.distance(0, 1) is Distance.SAME_NODE
+
+    def test_same_chassis(self):
+        topo = Topology(nprocs=32)
+        assert topo.distance(0, 15) is Distance.SAME_CHASSIS
+
+    def test_same_group(self):
+        topo = Topology(nprocs=256)
+        assert topo.distance(0, 16) is Distance.SAME_GROUP
+
+    def test_remote_group(self):
+        topo = Topology(nprocs=256)
+        assert topo.distance(0, 16 * 6) is Distance.REMOTE_GROUP
+
+    def test_symmetry(self):
+        topo = Topology(nprocs=200, ranks_per_node=2)
+        for a, b in [(0, 1), (0, 31), (3, 190), (17, 100)]:
+            assert topo.distance(a, b) is topo.distance(b, a)
+
+    def test_distance_ordering_monotone(self):
+        assert (
+            Distance.SELF
+            < Distance.SAME_NODE
+            < Distance.SAME_CHASSIS
+            < Distance.SAME_GROUP
+            < Distance.REMOTE_GROUP
+        )
+
+    def test_out_of_range_rank(self):
+        topo = Topology(nprocs=4)
+        with pytest.raises(ValueError):
+            topo.distance(0, 4)
+        with pytest.raises(ValueError):
+            topo.node_of(-1)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(nprocs=0)
+        with pytest.raises(ValueError):
+            Topology(nprocs=4, ranks_per_node=0)

@@ -1,0 +1,64 @@
+"""Scalability/stress tests of the cooperative runtime."""
+
+import numpy as np
+
+from repro.mpi import SimMPI, Window
+from repro.runtime import SimWorld
+
+
+class TestManyRanks:
+    def test_64_rank_barrier_storm(self):
+        def program(p):
+            for i in range(20):
+                p.advance(1e-9 * ((p.rank * 7 + i) % 5))
+                p.sync()
+            return p.clock
+
+        world = SimWorld(64)
+        results = world.run(program)
+        assert len(set(results)) == 1  # everyone aligned
+
+    def test_128_rank_allgather(self):
+        mpi = SimMPI(nprocs=128)
+
+        def program(m):
+            return sum(m.comm_world.allgather(m.rank))
+
+        results = mpi.run(program)
+        assert results == [127 * 128 // 2] * 128
+
+    def test_many_rank_window_ring(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 64)
+            win.local_view(np.int64)[:] = m.rank
+            m.comm_world.barrier()
+            win.lock_all()
+            buf = np.empty(8, np.int64)
+            win.get(buf, (m.rank + 1) % m.size, 0)
+            win.flush((m.rank + 1) % m.size)
+            win.unlock_all()
+            return int(buf[0])
+
+        results = SimMPI(nprocs=48).run(program)
+        assert results == [(r + 1) % 48 for r in range(48)]
+
+    def test_deep_sync_sequence_single_rank(self):
+        def program(p):
+            for _ in range(2000):
+                p.sync()
+            return True
+
+        assert SimWorld(1).run(program) == [True]
+
+    def test_collective_cost_scales_logarithmically(self):
+        def program(m):
+            m.comm_world.barrier()
+            return m.time
+
+        times = {}
+        for n in (4, 16, 64):
+            mpi = SimMPI(nprocs=n)
+            mpi.run(program)
+            times[n] = mpi.elapsed
+        # tree model: log2(64)/log2(4) = 3x, far from linear 16x
+        assert times[64] < 5 * times[4]

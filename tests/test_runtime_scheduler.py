@@ -1,0 +1,210 @@
+"""Unit tests for the deterministic cooperative runtime."""
+
+import pytest
+
+from repro.runtime import DeadlockError, RankFailedError, SimWorld
+
+
+class TestBasicExecution:
+    def test_single_rank(self):
+        world = SimWorld(1)
+        assert world.run(lambda p: p.rank * 10) == [0]
+
+    def test_all_ranks_run(self):
+        world = SimWorld(5)
+        assert world.run(lambda p: p.rank) == [0, 1, 2, 3, 4]
+
+    def test_args_and_kwargs_forwarded(self):
+        world = SimWorld(2)
+        out = world.run(lambda p, a, b=0: (p.rank, a, b), 7, b=9)
+        assert out == [(0, 7, 9), (1, 7, 9)]
+
+    def test_mpmd_programs(self):
+        world = SimWorld(2)
+        out = world.run(None, programs=[lambda p: "a", lambda p: "b"])
+        assert out == ["a", "b"]
+
+    def test_world_is_single_shot(self):
+        world = SimWorld(2)
+        world.run(lambda p: None)
+        with pytest.raises(RuntimeError, match="single-shot"):
+            world.run(lambda p: None)
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+
+class TestVirtualClocks:
+    def test_advance_accumulates(self):
+        world = SimWorld(1)
+
+        def program(p):
+            p.advance(1.5)
+            p.advance(0.5)
+            return p.clock
+
+        assert world.run(program) == [2.0]
+
+    def test_negative_advance_rejected(self):
+        world = SimWorld(1)
+
+        def program(p):
+            p.advance(-1.0)
+
+        with pytest.raises(RankFailedError):
+            world.run(program)
+
+    def test_sync_aligns_clocks_to_max(self):
+        world = SimWorld(3)
+
+        def program(p):
+            p.advance(float(p.rank))  # clocks 0, 1, 2
+            p.sync()
+            return p.clock
+
+        assert world.run(program) == [2.0, 2.0, 2.0]
+
+    def test_sync_extra_time_added(self):
+        world = SimWorld(2)
+
+        def program(p):
+            p.sync(extra_time=0.25)
+            return p.clock
+
+        assert world.run(program) == [0.25, 0.25]
+
+    def test_sync_extra_time_takes_max_of_participants(self):
+        world = SimWorld(2)
+
+        def program(p):
+            p.sync(extra_time=0.1 if p.rank == 0 else 0.4)
+            return p.clock
+
+        assert world.run(program) == [0.4, 0.4]
+
+    def test_max_clock_reported(self):
+        world = SimWorld(2)
+
+        def program(p):
+            p.advance(1.0 if p.rank else 3.0)
+
+        world.run(program)
+        assert world.max_clock == 3.0
+        assert world.clocks == [3.0, 1.0]
+
+
+class TestSyncPayloads:
+    def test_payloads_gathered_by_rank(self):
+        world = SimWorld(4)
+
+        def program(p):
+            return p.sync(payload=p.rank * 11)
+
+        for result in world.run(program):
+            assert result == [0, 11, 22, 33]
+
+    def test_multiple_sync_rounds(self):
+        world = SimWorld(3)
+
+        def program(p):
+            first = p.sync(payload=("a", p.rank))
+            second = p.sync(payload=("b", p.rank))
+            return first, second
+
+        for first, second in world.run(program):
+            assert first == [("a", 0), ("a", 1), ("a", 2)]
+            assert second == [("b", 0), ("b", 1), ("b", 2)]
+
+    def test_many_rounds_stress(self):
+        world = SimWorld(4)
+
+        def program(p):
+            total = 0
+            for i in range(50):
+                got = p.sync(payload=p.rank + i)
+                total += sum(got)
+            return total
+
+        results = world.run(program)
+        expected = sum(sum(r + i for r in range(4)) for i in range(50))
+        assert results == [expected] * 4
+
+
+class TestDeterminism:
+    def test_interleaving_is_reproducible(self):
+        def program(p, log):
+            for i in range(5):
+                p.advance(0.1 * ((p.rank + i) % 3))
+                p.sync()
+                log.append((p.rank, round(p.clock, 6)))
+            return None
+
+        log1: list = []
+        log2: list = []
+        SimWorld(4).run(program, log1)
+        SimWorld(4).run(program, log2)
+        assert log1 == log2
+
+    def test_rank_order_at_equal_clocks(self):
+        order: list[int] = []
+
+        def program(p):
+            p.sync()
+            order.append(p.rank)
+
+        SimWorld(4).run(program)
+        assert order == [0, 1, 2, 3]
+
+
+class TestFailures:
+    def test_exception_propagates_with_rank(self):
+        world = SimWorld(3)
+
+        def program(p):
+            if p.rank == 1:
+                raise ValueError("boom")
+            p.sync()
+
+        with pytest.raises(RankFailedError) as ei:
+            world.run(program)
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.original, ValueError)
+
+    def test_failure_while_others_blocked(self):
+        world = SimWorld(4)
+
+        def program(p):
+            if p.rank == 3:
+                raise RuntimeError("late failure")
+            p.sync()
+
+        with pytest.raises(RankFailedError):
+            world.run(program)
+
+    def test_deadlock_detected_when_rank_exits_early(self):
+        world = SimWorld(2)
+
+        def program(p):
+            if p.rank == 0:
+                return "done"
+            p.sync()  # rank 1 waits forever: rank 0 never syncs
+
+        with pytest.raises(DeadlockError, match="blocked"):
+            world.run(program)
+
+    def test_abort_cannot_be_swallowed_by_user_except(self):
+        world = SimWorld(2)
+
+        def program(p):
+            if p.rank == 0:
+                raise ValueError("primary")
+            try:
+                p.sync()
+            except Exception:  # noqa: BLE001 - must NOT catch the abort
+                return "swallowed"
+            return "ok"
+
+        with pytest.raises(RankFailedError) as ei:
+            world.run(program)
+        assert ei.value.rank == 0

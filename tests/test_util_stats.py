@@ -1,0 +1,104 @@
+"""Unit tests for the LibLSB-style statistics helpers."""
+
+import random
+
+import pytest
+
+from repro.util import (
+    RunStats,
+    confidence_interval_median,
+    median,
+    repeat_until_confident,
+)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_averages_middle(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_single(self):
+        assert median([7.0]) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_unsorted_input(self):
+        assert median([9, 1, 5, 3, 7]) == 5
+
+
+class TestConfidenceInterval:
+    def test_requires_three_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval_median([1.0, 2.0])
+
+    def test_brackets_median(self):
+        rnd = random.Random(42)
+        samples = [rnd.gauss(10.0, 1.0) for _ in range(101)]
+        lo, hi = confidence_interval_median(samples)
+        assert lo <= median(samples) <= hi
+
+    def test_narrows_with_more_samples(self):
+        rnd = random.Random(7)
+        small = [rnd.gauss(5.0, 1.0) for _ in range(20)]
+        big = small + [rnd.gauss(5.0, 1.0) for _ in range(480)]
+        lo_s, hi_s = confidence_interval_median(small)
+        lo_b, hi_b = confidence_interval_median(big)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_constant_samples_collapse(self):
+        lo, hi = confidence_interval_median([3.0] * 30)
+        assert lo == hi == 3.0
+
+
+class TestRunStats:
+    def test_ci_within_on_tight_data(self):
+        stats = RunStats()
+        for _ in range(20):
+            stats.add(1.0)
+        assert stats.ci_within(0.05)
+
+    def test_ci_not_within_on_noisy_few(self):
+        stats = RunStats()
+        stats.add(1.0)
+        stats.add(100.0)
+        assert not stats.ci_within(0.05)
+
+    def test_mean(self):
+        stats = RunStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.add(v)
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_summary_mentions_median(self):
+        stats = RunStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.add(v)
+        assert "median=2" in stats.summary()
+
+
+class TestRepeatUntilConfident:
+    def test_deterministic_measure_stops_at_min(self):
+        calls = []
+
+        def measure():
+            calls.append(1)
+            return 5.0
+
+        stats = repeat_until_confident(measure, min_repetitions=5)
+        assert stats.n == 5
+        assert stats.median == 5.0
+
+    def test_respects_max_repetitions(self):
+        rnd = random.Random(3)
+        stats = repeat_until_confident(
+            lambda: rnd.uniform(0, 1000), rel_tol=1e-9, max_repetitions=25
+        )
+        assert stats.n == 25
+
+    def test_rejects_tiny_min(self):
+        with pytest.raises(ValueError):
+            repeat_until_confident(lambda: 1.0, min_repetitions=2)

@@ -1,0 +1,57 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util import CACHE_LINE, GiB, KiB, MiB, align_up, format_bytes, format_time
+
+
+class TestAlignUp:
+    def test_zero(self):
+        assert align_up(0) == 0
+
+    def test_exact_multiple(self):
+        assert align_up(CACHE_LINE) == CACHE_LINE
+        assert align_up(4 * CACHE_LINE) == 4 * CACHE_LINE
+
+    def test_rounds_up(self):
+        assert align_up(1) == CACHE_LINE
+        assert align_up(CACHE_LINE + 1) == 2 * CACHE_LINE
+
+    def test_custom_alignment(self):
+        assert align_up(10, 8) == 16
+        assert align_up(16, 8) == 16
+        assert align_up(17, 16) == 32
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(-1)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+    def test_alignment_one_is_identity(self):
+        for n in (0, 1, 7, 63, 64, 100):
+            assert align_up(n, 1) == n
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(4 * KiB) == "4.0 KiB"
+        assert format_bytes(int(1.5 * MiB)) == "1.5 MiB"
+        assert format_bytes(2 * GiB) == "2.0 GiB"
+
+    def test_format_time(self):
+        assert format_time(5e-9) == "5.0 ns"
+        assert format_time(2.5e-6) == "2.50 us"
+        assert format_time(3.2e-3) == "3.20 ms"
+        assert format_time(1.5) == "1.500 s"
+
+    def test_format_time_negative(self):
+        assert format_time(-2.5e-6) == "-2.50 us"
