@@ -31,14 +31,15 @@ def program(mpi):
     peer = (mpi.rank + 1) % mpi.size
     buf = np.empty(512, np.float64)  # 4 KiB payload
 
-    win.lock_all()
+    # Scoped epoch: lock_all on entry, unlock_all (completing everything)
+    # on exit — no way to leak an open epoch past the block.
     timings = []
-    for i in range(5):
-        t0 = mpi.time
-        win.get(buf, peer, 0)   # one-sided read from the peer's window
-        win.flush(peer)         # completes the get (closes the epoch)
-        timings.append(mpi.time - t0)
-    win.unlock_all()
+    with win.lock_all_epoch():
+        for i in range(5):
+            t0 = mpi.time
+            win.get(buf, peer, 0)   # one-sided read from the peer's window
+            win.flush(peer)         # completes the get (closes the epoch)
+            timings.append(mpi.time - t0)
 
     assert np.array_equal(buf, peer * 1000 + np.arange(512))
     return timings, win.stats.snapshot()

@@ -171,6 +171,7 @@ class BHRunResult:
         return {
             k: sum(s.get(k, 0) for s in self.cache_stats)
             for k in self.cache_stats[0]
+            if k != "schema_version"
         }
 
     def max_stat(self, key: str) -> float:
@@ -290,52 +291,52 @@ def _bh_rank_program(
         return node_buf
 
     t0 = mpi.time
-    win.lock_all()
-    eps2 = eps * eps
-    theta2 = theta * theta
-    sqrt = math.sqrt
-    advance = mpi.proc.advance  # bypass the compute() wrapper in the hot loop
-    forces = np.zeros((bhi - blo, 3))
-    for b in range(blo, bhi):
-        pbx, pby, pbz = pos[b]
-        mb = float(mass[b])
-        ax = ay = az = 0.0
-        stack = [tree.root]
-        visits = 0
-        interactions = 0
-        while stack:
-            rec = fetch_node(stack.pop())
-            visits += 1
-            nchildren = int(rec[5])
-            dx = rec[0] - pbx
-            dy = rec[1] - pby
-            dz = rec[2] - pbz
-            r2 = dx * dx + dy * dy + dz * dz + eps2
-            if nchildren == 0:
-                if int(rec[6]) == b:
-                    continue  # the body itself
-                f = mb * rec[3] / (r2 * sqrt(r2))
-                ax += f * dx
-                ay += f * dy
-                az += f * dz
-                interactions += 1
-            elif rec[4] * rec[4] < theta2 * r2:
-                # size/dist < theta: far enough, use the centre of mass
-                f = mb * rec[3] / (r2 * sqrt(r2))
-                ax += f * dx
-                ay += f * dy
-                az += f * dz
-                interactions += 1
-            else:
-                for c in range(nchildren):
-                    stack.append(int(rec[8 + c]))
-        advance(visits * VISIT_TIME + interactions * INTERACTION_TIME)
-        forces[b - blo, 0] = ax
-        forces[b - blo, 1] = ay
-        forces[b - blo, 2] = az
-    if hasattr(win, "invalidate"):
-        win.invalidate()  # paper Listing 1: invalidate before the epoch ends
-    win.unlock_all()
+    # Scoped epoch: unlock_all on exit completes every outstanding get.
+    with win.lock_all_epoch():
+        eps2 = eps * eps
+        theta2 = theta * theta
+        sqrt = math.sqrt
+        advance = mpi.proc.advance  # bypass the compute() wrapper in the hot loop
+        forces = np.zeros((bhi - blo, 3))
+        for b in range(blo, bhi):
+            pbx, pby, pbz = pos[b]
+            mb = float(mass[b])
+            ax = ay = az = 0.0
+            stack = [tree.root]
+            visits = 0
+            interactions = 0
+            while stack:
+                rec = fetch_node(stack.pop())
+                visits += 1
+                nchildren = int(rec[5])
+                dx = rec[0] - pbx
+                dy = rec[1] - pby
+                dz = rec[2] - pbz
+                r2 = dx * dx + dy * dy + dz * dz + eps2
+                if nchildren == 0:
+                    if int(rec[6]) == b:
+                        continue  # the body itself
+                    f = mb * rec[3] / (r2 * sqrt(r2))
+                    ax += f * dx
+                    ay += f * dy
+                    az += f * dz
+                    interactions += 1
+                elif rec[4] * rec[4] < theta2 * r2:
+                    # size/dist < theta: far enough, use the centre of mass
+                    f = mb * rec[3] / (r2 * sqrt(r2))
+                    ax += f * dx
+                    ay += f * dy
+                    az += f * dz
+                    interactions += 1
+                else:
+                    for c in range(nchildren):
+                        stack.append(int(rec[8 + c]))
+            advance(visits * VISIT_TIME + interactions * INTERACTION_TIME)
+            forces[b - blo, 0] = ax
+            forces[b - blo, 1] = ay
+            forces[b - blo, 2] = az
+        if hasattr(win, "invalidate"):
+            win.invalidate()  # paper Listing 1: invalidate before the epoch ends
     phase_time = mpi.time - t0
 
     return blo, bhi, forces, phase_time, cache_stats_of(win), recorder

@@ -51,6 +51,7 @@ class BFSRunResult:
         return {
             k: sum(s.get(k, 0) for s in self.cache_stats)
             for k in self.cache_stats[0]
+            if k != "schema_version"
         }
 
 

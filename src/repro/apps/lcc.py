@@ -63,6 +63,7 @@ class LCCRunResult:
         return {
             k: sum(s.get(k, 0) for s in self.cache_stats)
             for k in self.cache_stats[0]
+            if k != "schema_version"
         }
 
     def max_stat(self, key: str) -> float:

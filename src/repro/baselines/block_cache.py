@@ -20,7 +20,9 @@ to the raw window (the UPC cache had the same restriction).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -94,6 +96,20 @@ class BlockCachedWindow:
 
     def flush_all(self) -> None:
         self._win.flush_all()
+
+    @contextmanager
+    def lock_epoch(
+        self, rank: int, lock_type: str = "shared"
+    ) -> Iterator["BlockCachedWindow"]:
+        """Scoped passive-target epoch towards ``rank``."""
+        with self._win.lock_epoch(rank, lock_type):
+            yield self
+
+    @contextmanager
+    def lock_all_epoch(self) -> Iterator["BlockCachedWindow"]:
+        """Scoped passive-target epoch towards every rank."""
+        with self._win.lock_all_epoch():
+            yield self
 
     @property
     def local_buffer(self) -> np.ndarray:

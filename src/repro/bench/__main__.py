@@ -12,8 +12,10 @@ import argparse
 import sys
 import time
 
+from repro import obs
 from repro.bench.ablations import ALL_ABLATIONS
 from repro.bench.figures import ALL_FIGURES
+from repro.util import format_time
 
 _ALL = {**ALL_FIGURES, **ALL_ABLATIONS}
 
@@ -55,9 +57,15 @@ def main(argv: list[str] | None = None) -> int:
             from repro.bench.figures import PAPER_SCALE_KWARGS
 
             kwargs = PAPER_SCALE_KWARGS.get(name, {})
+        # Wall time is how long *this host* took; virtual time is how much
+        # simulated time the runs covered (from the obs ledger, which the
+        # runtime notes after every completed SimWorld run).  They answer
+        # different questions, so both are reported, labelled.
+        v0 = obs.virtual_time.total
         t0 = time.time()
         fig = _ALL[name](**kwargs)
         wall = time.time() - t0
+        virt = obs.virtual_time.total - v0
         print(fig.markdown() if args.markdown else fig.render())
         if args.chart:
             print()
@@ -68,7 +76,11 @@ def main(argv: list[str] | None = None) -> int:
             out = pathlib.Path(args.json_dir)
             out.mkdir(parents=True, exist_ok=True)
             (out / f"{name}.json").write_text(fig.to_json())
-        print(f"(generated in {wall:.1f}s wall time)\n", file=sys.stderr)
+        print(
+            f"(generated in {wall:.1f}s wall time; simulated "
+            f"{format_time(virt)} of virtual time)\n",
+            file=sys.stderr,
+        )
         if not fig.all_claims_hold:
             failed.append(name)
     if failed:

@@ -12,17 +12,31 @@ cache-enabling a window      :func:`wrap`
 info key ``clampi_mode``     :data:`INFO_MODE_KEY`
 ===========================  =========================================
 
+Configuration resolution
+------------------------
+Three channels can name the operational mode; :func:`resolve_config` is
+the single place that arbitrates them.  Highest priority first:
+
+1. ``info["clampi_mode"]`` — the MPI-standard-compatible channel of paper
+   Sec. III-A (an installation can flip modes without touching code);
+2. the ``mode=`` keyword — the pythonic shortcut;
+3. ``config.mode`` — whatever the explicit :class:`Config` carries;
+4. the :class:`Config` default (``TRANSPARENT``).
+
 Example (user-defined mode, paper Listing 1)::
 
     win = clampi.window_allocate(comm, nbytes, mode=clampi.Mode.USER_DEFINED)
-    win.lock(peer)
-    while not terminate:
-        win.get(lbuf1, peer, off1)
-        win.get(lbuf2, peer, off2)
-        win.flush(peer)                 # closes epoch
-        terminate = computation(lbuf1, lbuf2)
-    clampi.invalidate(win)
-    win.unlock(peer)
+    with win.lock_epoch(peer):
+        while not terminate:
+            win.get(lbuf1, peer, off1)
+            win.get(lbuf2, peer, off2)
+            win.flush(peer)                 # closes epoch
+            terminate = computation(lbuf1, lbuf2)
+        clampi.invalidate(win)
+
+Statistics come back through :func:`stats` / :meth:`CacheStats.snapshot`
+(a versioned, stable schema) and, for structured per-event telemetry,
+through the :mod:`repro.obs` subsystem.
 """
 
 from __future__ import annotations
@@ -33,7 +47,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.core.config import INFO_MODE_KEY, AdaptiveParams, Config, EvictionPolicy, Mode
-from repro.core.stats import AccessType, CacheStats
+from repro.core.stats import SCHEMA_VERSION, AccessType, CacheStats
 from repro.core.window import CachedWindow
 from repro.mpi.comm import Communicator
 from repro.mpi.window import Window
@@ -47,18 +61,47 @@ __all__ = [
     "EvictionPolicy",
     "INFO_MODE_KEY",
     "Mode",
+    "SCHEMA_VERSION",
+    "configure",
     "invalidate",
+    "resolve_config",
+    "stats",
     "window_allocate",
     "window_create",
     "wrap",
 ]
 
 
-def _merge(config: Config | None, mode: Mode | None) -> Config:
+def resolve_config(
+    config: Config | None = None,
+    mode: Mode | None = None,
+    info: Mapping[str, Any] | None = None,
+) -> Config:
+    """Resolve the effective :class:`Config` from the three mode channels.
+
+    Precedence (highest wins): ``info["clampi_mode"]`` > ``mode=`` >
+    ``config.mode`` > the :class:`Config` default.  This is the one place
+    the precedence lives; every facade entry point delegates here.
+    """
     cfg = config or Config()
     if mode is not None:
         cfg = replace(cfg, mode=mode)
+    if info is not None:
+        info_mode = info.get(INFO_MODE_KEY)
+        if info_mode is not None:
+            cfg = replace(cfg, mode=Mode(info_mode))
     return cfg
+
+
+def configure(**kwargs: Any) -> Config:
+    """Build a :class:`Config` from keyword arguments.
+
+    Convenience mirror of ``Config(**kwargs)`` exported on the facade so
+    callers never import from ``repro.core``::
+
+        cfg = clampi.configure(index_entries=1 << 14, adaptive=True)
+    """
+    return Config(**kwargs)
 
 
 def window_allocate(
@@ -71,11 +114,11 @@ def window_allocate(
 ) -> CachedWindow:
     """Collectively allocate a caching-enabled window.
 
-    ``mode`` overrides ``config.mode``; an explicit ``clampi_mode`` info key
-    overrides both (it is the MPI-standard-compatible channel of Sec. III-A).
+    Mode precedence follows :func:`resolve_config`:
+    ``info["clampi_mode"]`` > ``mode=`` > ``config.mode``.
     """
     win = Window.allocate(comm, nbytes, disp_unit=disp_unit, info=info)
-    return CachedWindow(win, _merge(config, mode))
+    return CachedWindow(win, resolve_config(config, mode, info))
 
 
 def window_create(
@@ -86,18 +129,35 @@ def window_create(
     config: Config | None = None,
     info: Mapping[str, Any] | None = None,
 ) -> CachedWindow:
-    """Collectively cache-enable a window over an existing local buffer."""
+    """Collectively cache-enable a window over an existing local buffer.
+
+    Mode precedence follows :func:`resolve_config`.
+    """
     win = Window.create(comm, buffer, disp_unit=disp_unit, info=info)
-    return CachedWindow(win, _merge(config, mode))
+    return CachedWindow(win, resolve_config(config, mode, info))
 
 
 def wrap(
     window: Window, mode: Mode | None = None, config: Config | None = None
 ) -> CachedWindow:
-    """Cache-enable an already-created plain window (local operation)."""
-    return CachedWindow(window, _merge(config, mode))
+    """Cache-enable an already-created plain window (local operation).
+
+    The window's creation-time info dict participates in the mode
+    resolution exactly as in :func:`window_allocate`.
+    """
+    return CachedWindow(window, resolve_config(config, mode, window.info))
 
 
 def invalidate(window: CachedWindow) -> None:
     """``CLAMPI_Invalidate``: drop all cached entries of ``window``."""
     window.invalidate()
+
+
+def stats(window: CachedWindow) -> CacheStats:
+    """The :class:`CacheStats` of a caching-enabled window.
+
+    Facade accessor so callers need not know the attribute layout:
+    ``clampi.stats(win).snapshot()`` / ``.breakdown()`` are the public,
+    schema-versioned views.
+    """
+    return window.stats

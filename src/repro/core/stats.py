@@ -22,6 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from enum import Enum
 
+#: Version of the public ``CacheStats.snapshot()`` schema.  Bump whenever a
+#: counter is added, removed or renamed so downstream consumers (captures,
+#: dashboards, the obs report CLI) can detect incompatible dumps.
+SCHEMA_VERSION = 1
+
 
 class AccessType(Enum):
     HIT_FULL = "hit_full"
@@ -136,18 +141,19 @@ class CacheStats:
         self.interval.reset()
 
     def snapshot(self) -> dict[str, int]:
-        """Cumulative counters as a plain dict (cheap to gather/compare)."""
-        return self.total.as_dict()
+        """Cumulative counters as a plain dict (cheap to gather/compare).
+
+        The dict carries a ``schema_version`` key (see
+        :data:`SCHEMA_VERSION`) alongside the raw counters; the counter
+        names are stable across releases within one schema version.
+        """
+        return {"schema_version": SCHEMA_VERSION, **self.total.as_dict()}
 
     def breakdown(self) -> dict[str, float]:
-        """Fig. 13/16/18-style normalised access breakdown."""
+        """Fig. 13/16/18-style normalised access breakdown.
+
+        Keys are exactly the :class:`AccessType` values (a test pins this),
+        each mapped to its count divided by the total number of gets.
+        """
         t = self.total
-        return {
-            "hit_full": t.ratio(t.hit_full),
-            "hit_partial": t.ratio(t.hit_partial),
-            "hit_pending": t.ratio(t.hit_pending),
-            "direct": t.ratio(t.direct),
-            "conflicting": t.ratio(t.conflicting),
-            "capacity": t.ratio(t.capacity),
-            "failing": t.ratio(t.failing),
-        }
+        return {a.value: t.ratio(getattr(t, a.value)) for a in AccessType}

@@ -31,7 +31,8 @@ USER_DEFINED is ALWAYS_CACHE plus the explicit :meth:`invalidate`
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
@@ -47,6 +48,17 @@ from repro.core.storage import Storage
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import Datatype
 from repro.mpi.window import Window
+from repro.obs import (
+    CACHE_ACCESS,
+    CACHE_ADAPT,
+    CACHE_EPOCH,
+    CACHE_EVICT,
+    CACHE_INVALIDATE,
+    CallbackSink,
+    Event,
+    EventBus,
+    get_bus,
+)
 
 
 class CachedWindow:
@@ -75,11 +87,40 @@ class CachedWindow:
             AdaptiveController(cfg.adaptive_params) if cfg.adaptive else None
         )
         self._cooldown = 0  #: intervals left before the controller may act
-        #: optional (eph, gets, hits) samples appended at every epoch close
-        self.timeline: list[tuple[int, int, int]] | None = (
-            [] if cfg.record_timeline else None
-        )
+        #: per-window telemetry bus; forwards to the process-global bus so a
+        #: single capture sees every layer (repro.obs design)
+        self.obs = EventBus(parent=get_bus())
+        #: optional (eph, gets, hits) samples appended at every epoch close.
+        #: Fed by the ``cache.epoch`` events of this window's bus — the one
+        #: measurement pipeline — via a private CallbackSink.
+        self.timeline: list[tuple[int, int, int]] | None = None
+        if cfg.record_timeline:
+            self.timeline = []
+            self.obs.attach(
+                CallbackSink(self._timeline_sample, kinds=(CACHE_EPOCH,))
+            )
         window.add_epoch_close_hook(self._on_epoch_close)
+
+    def _timeline_sample(self, event: Event) -> None:
+        assert self.timeline is not None
+        self.timeline.append(
+            (event.attrs["eph"], event.attrs["gets"], event.attrs["hits"])
+        )
+
+    def _emit(self, kind: str, duration: float = 0.0, **attrs: Any) -> None:
+        """Publish one telemetry event stamped (rank, virtual time, epoch)."""
+        comm = self._win.comm
+        self.obs.emit(
+            Event(
+                kind,
+                comm.rank,
+                comm.proc.clock,
+                self._win.eph,
+                self._win.win_id,
+                duration=duration,
+                attrs=attrs,
+            )
+        )
 
     # ------------------------------------------------------------------
     # plumbing / introspection
@@ -166,6 +207,26 @@ class CachedWindow:
 
     def fence(self) -> None:
         self._win.fence()
+
+    @contextmanager
+    def lock_epoch(
+        self, rank: int, lock_type: str = "shared"
+    ) -> Iterator["CachedWindow"]:
+        """Scoped passive-target epoch towards ``rank`` (see Window.lock_epoch)."""
+        with self._win.lock_epoch(rank, lock_type):
+            yield self
+
+    @contextmanager
+    def lock_all_epoch(self) -> Iterator["CachedWindow"]:
+        """Scoped passive-target epoch towards every rank."""
+        with self._win.lock_all_epoch():
+            yield self
+
+    @contextmanager
+    def fence_epoch(self) -> Iterator["CachedWindow"]:
+        """Scoped active-target epoch: fence on entry and exit."""
+        with self._win.fence_epoch():
+            yield self
 
     def free(self) -> None:
         self._win.free()
@@ -276,11 +337,26 @@ class CachedWindow:
                     nbytes = self._serve_partial_hit(
                         entry, origin, target_rank, target_disp, count, dtype, size
                     )
+                self._emit_access(target_rank, target_disp, size)
                 self._maybe_adapt()
                 return nbytes
         nbytes = self._serve_miss(origin, target_rank, target_disp, count, dtype, size)
+        self._emit_access(target_rank, target_disp, size)
         self._maybe_adapt()
         return nbytes
+
+    def _emit_access(self, target_rank: int, target_disp: int, size: int) -> None:
+        """One ``cache.access`` event per classified get_c."""
+        if not self.obs.enabled:
+            return
+        assert self.stats.last_access is not None
+        self._emit(
+            CACHE_ACCESS,
+            access=self.stats.last_access.value,
+            target=target_rank,
+            disp=target_disp,
+            nbytes=size,
+        )
 
     def get_blocking(
         self,
@@ -429,6 +505,10 @@ class CachedWindow:
             self.stats.record_eviction(
                 sample.visited, sample.nonempty, conflict=False
             )
+            if self.obs.enabled:
+                self._emit(
+                    CACHE_EVICT, reason="capacity", visited=sample.visited
+                )
             self._evict(sample.victim)
             evicted_any = True
             desc = self._allocate_tracked(size)
@@ -479,6 +559,8 @@ class CachedWindow:
                 self._drop_entry(homeless)
                 return homeless is not entry
             self.stats.record_eviction(0, 0, conflict=True)
+            if self.obs.enabled:
+                self._emit(CACHE_EVICT, reason="conflict", visited=0)
             if victim is homeless:
                 # Already out of the table; just release its resources.
                 self._drop_entry(victim)
@@ -531,9 +613,13 @@ class CachedWindow:
         if self.mode is Mode.TRANSPARENT:
             self._invalidate_entries(targets)
 
-        if self.timeline is not None:
+        if self.obs.enabled:
+            # The hook runs before ``eph`` is bumped: the stamp names the
+            # epoch being closed, matching the historical timeline samples.
             t = self.stats.total
-            self.timeline.append((self._win.eph, t.gets, t.hits))
+            self._emit(
+                CACHE_EPOCH, eph=self._win.eph, gets=t.gets, hits=t.hits
+            )
 
     def _invalidate_entries(self, targets: set[int] | None) -> int:
         """Drop all (or per-target) entries; returns how many were live."""
@@ -562,6 +648,8 @@ class CachedWindow:
         self._orphan_waiter_bytes = []
         self.cost.invalidate(live)
         self.stats.record_invalidation()
+        if self.obs.enabled:
+            self._emit(CACHE_INVALIDATE, live=live)
 
     def check_invariants(self) -> None:
         """Structural audit of the whole caching layer (used by tests).
@@ -637,6 +725,12 @@ class CachedWindow:
         self._build_structures()
         self.cost.adjust(adj.index_entries, adj.storage_bytes)
         self.stats.record_adjustment()
+        if self.obs.enabled:
+            self._emit(
+                CACHE_ADAPT,
+                index_entries=adj.index_entries,
+                storage_bytes=adj.storage_bytes,
+            )
 
 
 def _replace_mode(cfg: Config, mode: Mode) -> Config:

@@ -28,14 +28,27 @@ asynchronous completion model.
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 import numpy as np
 
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import BYTE, Datatype, from_numpy
 from repro.mpi.errors import EpochError, WindowError
+from repro.obs import (
+    NET_TRANSFER,
+    RMA_ACCUMULATE,
+    RMA_FENCE,
+    RMA_FLUSH,
+    RMA_GET,
+    RMA_LOCK,
+    RMA_PUT,
+    RMA_UNLOCK,
+    Event,
+    get_bus,
+)
 
 LOCK_SHARED = "shared"
 LOCK_EXCLUSIVE = "exclusive"
@@ -123,12 +136,15 @@ class Window:
         self._locked: set[int] = set()
         self._locked_all = False
         self._access_group: set[int] = set()    #: PSCW start() targets
+        self._fence_active = False              #: inside a fence_epoch block
         self._exposure_group: set[int] = set()  #: PSCW post() origins
         self._pending: list[_PendingOp] = []
         self._epoch_close_hooks: list[Callable[["Window", set[int] | None], None]] = []
         self._bytes_transferred = 0  #: diagnostic: payload bytes moved by gets/puts
         #: diagnostic: payload bytes per Distance class this rank moved
         self._bytes_by_distance: dict = {}
+        #: telemetry bus (process-global); hot paths gate on ``.enabled``
+        self._obs = get_bus()
 
     # ------------------------------------------------------------------
     # creation / destruction (collective)
@@ -236,22 +252,33 @@ class Window:
             raise EpochError(f"unknown lock type: {lock_type}")
         if self._locked_all or rank in self._locked:
             raise EpochError(f"rank {rank} is already locked")
+        if self._fence_active:
+            raise EpochError("lock inside a fence epoch")
         self._locked.add(rank)
+        if self._obs.enabled:
+            self._emit(RMA_LOCK, target=rank, lock_type=lock_type)
 
     def lock_all(self) -> None:
         """Open a passive-target access epoch towards every rank."""
         self._check_alive()
-        if self._locked_all or self._locked:
+        if self._locked_all or self._locked or self._fence_active:
             raise EpochError("lock_all inside an existing epoch")
         self._locked_all = True
+        if self._obs.enabled:
+            self._emit(RMA_LOCK, target=None, lock_type=LOCK_SHARED)
 
     def unlock(self, rank: int) -> None:
         """Complete outstanding ops to ``rank`` and close its epoch."""
         self._check_alive()
         if rank not in self._locked:
             raise EpochError(f"unlock({rank}) without a matching lock")
+        t0 = self._comm.proc.clock
         self._complete({rank})
         self._locked.discard(rank)
+        if self._obs.enabled:
+            self._emit(
+                RMA_UNLOCK, duration=self._comm.proc.clock - t0, target=rank
+            )
         self._close_epoch({rank})
 
     def unlock_all(self) -> None:
@@ -259,8 +286,13 @@ class Window:
         self._check_alive()
         if not self._locked_all:
             raise EpochError("unlock_all without lock_all")
+        t0 = self._comm.proc.clock
         self._complete(None)
         self._locked_all = False
+        if self._obs.enabled:
+            self._emit(
+                RMA_UNLOCK, duration=self._comm.proc.clock - t0, target=None
+            )
         self._close_epoch(None)
 
     def flush(self, rank: int) -> None:
@@ -272,7 +304,12 @@ class Window:
         """
         self._check_alive()
         self._require_epoch(rank, "flush")
+        t0 = self._comm.proc.clock
         self._complete({rank})
+        if self._obs.enabled:
+            self._emit(
+                RMA_FLUSH, duration=self._comm.proc.clock - t0, target=rank
+            )
         self._close_epoch({rank})
 
     def flush_all(self) -> None:
@@ -280,7 +317,12 @@ class Window:
         self._check_alive()
         if not (self._locked_all or self._locked):
             raise EpochError("flush_all outside an access epoch")
+        t0 = self._comm.proc.clock
         self._complete(None)
+        if self._obs.enabled:
+            self._emit(
+                RMA_FLUSH, duration=self._comm.proc.clock - t0, target=None
+            )
         self._close_epoch(None)
 
     def fence(self) -> None:
@@ -288,9 +330,56 @@ class Window:
         self._check_alive()
         if self._locked_all or self._locked or self._access_group:
             raise EpochError("fence inside another access epoch")
+        t0 = self._comm.proc.clock
         self._complete(None)
         self._comm.barrier()
+        if self._obs.enabled:
+            self._emit(RMA_FENCE, duration=self._comm.proc.clock - t0)
         self._close_epoch(None)
+
+    # -- context-manager epoch APIs ------------------------------------
+    @contextmanager
+    def lock_epoch(
+        self, rank: int, lock_type: str = LOCK_SHARED
+    ) -> Iterator["Window"]:
+        """Scoped passive-target epoch towards one rank.
+
+        ``with win.lock_epoch(peer): ...`` locks on entry and unlocks on
+        exit — the unlock completes all outstanding operations (an implicit
+        flush) and closes the epoch.  Call :meth:`flush` inside the block
+        to close intermediate epochs, exactly as with explicit calls.
+        """
+        self.lock(rank, lock_type)
+        try:
+            yield self
+        finally:
+            self.unlock(rank)
+
+    @contextmanager
+    def lock_all_epoch(self) -> Iterator["Window"]:
+        """Scoped passive-target epoch towards every rank (lock_all)."""
+        self.lock_all()
+        try:
+            yield self
+        finally:
+            self.unlock_all()
+
+    @contextmanager
+    def fence_epoch(self) -> Iterator["Window"]:
+        """Scoped active-target epoch: fence on entry *and* exit.
+
+        RMA calls are permitted inside the block.  This scoped form is how
+        active-target communication epochs are expressed here; a bare
+        :meth:`fence` stays a pure synchronisation/completion boundary, so
+        the epoch can never be left open by accident.
+        """
+        self.fence()
+        self._fence_active = True
+        try:
+            yield self
+        finally:
+            self._fence_active = False
+            self.fence()
 
     # -- generalised active target (PSCW) ------------------------------
     def start(self, group: set[int] | list[int]) -> None:
@@ -302,7 +391,12 @@ class Window:
         latency per target.
         """
         self._check_alive()
-        if self._locked_all or self._locked or self._access_group:
+        if (
+            self._locked_all
+            or self._locked
+            or self._access_group
+            or self._fence_active
+        ):
             raise EpochError("start inside an existing access epoch")
         targets = set(group)
         for r in targets:
@@ -387,6 +481,10 @@ class Window:
             )
         origin_bytes[:nbytes] = payload
         self._post(target_rank, nbytes)
+        if self._obs.enabled:
+            self._emit(
+                RMA_GET, target=target_rank, disp=target_disp, nbytes=nbytes
+            )
         return nbytes
 
     def put(
@@ -410,6 +508,10 @@ class Window:
             payload=origin_bytes[:nbytes],
         )
         self._post(target_rank, nbytes)
+        if self._obs.enabled:
+            self._emit(
+                RMA_PUT, target=target_rank, disp=target_disp, nbytes=nbytes
+            )
         return nbytes
 
     def get_blocking(
@@ -496,6 +598,14 @@ class Window:
         else:
             raise WindowError(f"unknown accumulate op: {op}")
         self._post(target_rank, nbytes)
+        if self._obs.enabled:
+            self._emit(
+                RMA_ACCUMULATE,
+                target=target_rank,
+                disp=target_disp,
+                nbytes=nbytes,
+                op=op,
+            )
         return nbytes
 
     # ------------------------------------------------------------------
@@ -569,6 +679,31 @@ class Window:
         self._bytes_transferred += nbytes
         dist = perf.topology.distance(self._comm.rank, target_rank)
         self._bytes_by_distance[dist] = self._bytes_by_distance.get(dist, 0) + nbytes
+        if self._obs.enabled:
+            # One span per charged transfer: how the net.model priced it.
+            self._emit(
+                NET_TRANSFER,
+                duration=duration,
+                target=target_rank,
+                nbytes=nbytes,
+                distance=dist.name,
+                issue=issue,
+            )
+
+    def _emit(self, kind: str, duration: float = 0.0, **attrs: Any) -> None:
+        """Publish one telemetry event stamped (rank, virtual time, epoch)."""
+        comm = self._comm
+        self._obs.emit(
+            Event(
+                kind,
+                comm.rank,
+                comm.proc.clock,
+                self.eph,
+                self.win_id,
+                duration=duration,
+                attrs=attrs,
+            )
+        )
 
     def _complete(self, targets: set[int] | None) -> None:
         """Advance the clock past completion of the selected pending ops."""
@@ -592,7 +727,10 @@ class Window:
 
     def _require_epoch(self, rank: int, what: str) -> None:
         if not (
-            self._locked_all or rank in self._locked or rank in self._access_group
+            self._locked_all
+            or self._fence_active
+            or rank in self._locked
+            or rank in self._access_group
         ):
             raise EpochError(
                 f"{what} towards rank {rank} outside an access epoch "
@@ -600,7 +738,12 @@ class Window:
             )
 
     def _require_no_epoch(self, what: str) -> None:
-        if self._locked_all or self._locked or self._access_group:
+        if (
+            self._locked_all
+            or self._locked
+            or self._access_group
+            or self._fence_active
+        ):
             raise EpochError(f"{what} called inside an open access epoch")
 
     def _check_rank(self, rank: int) -> None:

@@ -1,0 +1,61 @@
+"""Telemetry report CLI: ``python -m repro.obs report capture.jsonl``.
+
+Renders per-rank timelines, access breakdowns and top-N virtual-time
+contributors from a JSONL capture written by :class:`repro.obs.JSONLSink`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("report", help="render a report from a JSONL capture")
+    rep.add_argument("capture", help="path to the JSONL capture file")
+    rep.add_argument(
+        "--top", type=int, default=10, help="rows in the cost-contributor table"
+    )
+    rep.add_argument(
+        "--rank", type=int, default=None, help="restrict to one rank's events"
+    )
+    rep.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="print only the per-rank access breakdown (machine-friendly)",
+    )
+
+    args = parser.parse_args(argv)
+
+    # Lazy import: repro.obs.report pulls in repro.core (see its docstring).
+    from repro.obs import report
+
+    try:
+        events = report.load_events(args.capture)
+    except OSError as exc:
+        print(f"cannot read capture: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"malformed capture {args.capture}: {exc}", file=sys.stderr)
+        return 2
+    if args.rank is not None:
+        events = [e for e in events if e.rank == args.rank]
+
+    if args.breakdown:
+        for r in report.ranks_of(events):
+            bd = report.access_breakdown(events, rank=r)
+            if not any(bd.values()):
+                continue
+            cells = " ".join(f"{k}={v:.6f}" for k, v in bd.items())
+            print(f"rank {r}: {cells}")
+        return 0
+
+    print(report.render_report(events, top=args.top), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""The event bus: one measurement pipeline for the whole stack.
+
+Emitting layers (``repro.mpi``, ``repro.core``, ``repro.runtime``,
+``repro.trace``) publish :class:`~repro.obs.events.Event` objects to a bus;
+sinks attached to the bus consume them.  Buses can be *chained*: a child
+bus (e.g. one per :class:`~repro.core.window.CachedWindow`, carrying its
+private timeline sink) forwards every event to its parent — normally the
+process-global bus returned by :func:`repro.obs.get_bus` — so a single
+JSONL capture sees the merged stream of all layers.
+
+The overhead contract: ``bus.enabled`` is ``False`` while no enabling sink
+is attached anywhere up the chain, and instrumented hot paths check it
+*before constructing the event*.  Attaching only :class:`NullSink` keeps
+the bus disabled, which is the near-zero-overhead mode the tests pin down.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import Event
+from repro.obs.sinks import Sink
+
+
+class EventBus:
+    """Fan-out of telemetry events to attached sinks (plus a parent bus)."""
+
+    def __init__(self, parent: "EventBus | None" = None):
+        self._sinks: list[Sink] = []
+        self._parent = parent
+        self._local_enabled = False
+
+    # ------------------------------------------------------------------
+    @property
+    def parent(self) -> "EventBus | None":
+        return self._parent
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one enabling sink listens here or upstream."""
+        return self._local_enabled or (
+            self._parent is not None and self._parent.enabled
+        )
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        return tuple(self._sinks)
+
+    # ------------------------------------------------------------------
+    def attach(self, sink: Sink) -> Sink:
+        """Register ``sink``; returns it (handy for inline construction)."""
+        self._sinks.append(sink)
+        self._refresh()
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        """Unregister ``sink`` (must be attached)."""
+        self._sinks.remove(sink)
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self._local_enabled = any(
+            getattr(s, "enables_bus", True) for s in self._sinks
+        )
+
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        """Deliver ``event`` to local sinks, then forward to the parent."""
+        if self._local_enabled:
+            for s in self._sinks:
+                s.handle(event)
+        p = self._parent
+        if p is not None and p.enabled:
+            p.emit(event)

@@ -26,6 +26,8 @@ import threading
 from enum import Enum
 from typing import Any, Callable, Sequence
 
+from repro.obs import SCHED_SWITCH, Event, get_bus, virtual_time
+
 
 class DeadlockError(RuntimeError):
     """Raised when blocked ranks can never be released."""
@@ -131,6 +133,8 @@ class SimWorld:
         self._sync_results: list[Any] | None = None
         self._pending_extra = 0.0
         self._started = False
+        self._obs = get_bus()
+        self._last_dispatched: int | None = None
 
     # ------------------------------------------------------------------
     # public API
@@ -185,6 +189,7 @@ class SimWorld:
             raise RankFailedError(rank, exc) from exc
         if self._deadlock is not None:
             raise DeadlockError(self._deadlock)
+        virtual_time.note_run(self.max_clock)
         return results
 
     @property
@@ -263,6 +268,16 @@ class SimWorld:
         else:
             nxt = min(ready, key=lambda p: (p.clock, p.rank))
         self._current = nxt.rank
+        if self._obs.enabled and nxt.rank != self._last_dispatched:
+            self._obs.emit(
+                Event(
+                    SCHED_SWITCH,
+                    nxt.rank,
+                    nxt.clock,
+                    attrs={"from": self._last_dispatched, "ready": len(ready)},
+                )
+            )
+        self._last_dispatched = nxt.rank
         self._cond.notify_all()
 
     def _sync(self, proc: SimProcess, payload: Any, extra_time: float) -> list[Any]:

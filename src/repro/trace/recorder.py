@@ -1,4 +1,12 @@
-"""Recording get traces from application runs."""
+"""Recording get traces from application runs.
+
+Since the ``repro.obs`` redesign, tracing rides the one telemetry
+pipeline: :class:`TracingWindow` publishes a ``trace.get`` event per get to
+an :class:`~repro.obs.EventBus` (chained to the process-global bus, so a
+JSONL capture sees the same stream) and :class:`TraceRecorder` is simply a
+sink over those events that keeps the historical ``(trg, dsp, size)``
+tuple API used by the analysis helpers and the parameter advisor.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,8 @@ from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
+
+from repro.obs import TRACE_GET, Event, EventBus, Sink, get_bus
 
 
 @dataclass(frozen=True)
@@ -17,14 +27,24 @@ class GetRecord:
     size: int
 
 
-class TraceRecorder:
-    """Accumulates :class:`GetRecord` tuples (one recorder per rank)."""
+class TraceRecorder(Sink):
+    """Accumulates :class:`GetRecord` tuples (one recorder per rank).
+
+    Doubles as an event sink: attached to a bus it records every
+    ``trace.get`` event, which is how :class:`TracingWindow` feeds it.
+    """
 
     def __init__(self) -> None:
         self.records: list[GetRecord] = []
 
     def record(self, trg: int, dsp: int, size: int) -> None:
         self.records.append(GetRecord(trg, dsp, size))
+
+    # -- Sink interface -------------------------------------------------
+    def handle(self, event: Event) -> None:
+        if event.kind == TRACE_GET:
+            a = event.attrs
+            self.record(a["target"], a["disp"], a["nbytes"])
 
     def __len__(self) -> int:
         return len(self.records)
@@ -41,22 +61,47 @@ class TracingWindow:
     """Window wrapper that records every get before forwarding it.
 
     Works over any get-capable window (plain, CLaMPI, block-cached), so the
-    same application code produces both measurements and traces.
+    same application code produces both measurements and traces.  Gets are
+    published as ``trace.get`` events on a private bus carrying the
+    recorder as a sink and forwarding to the global telemetry bus.
     """
 
     def __init__(self, window: Any, recorder: TraceRecorder):
         self._win = window
         self.recorder = recorder
+        self.obs = EventBus(parent=get_bus())
+        self.obs.attach(recorder)
+        comm = getattr(window, "comm", None)
+        if comm is None:  # e.g. BlockCachedWindow exposes only .raw
+            comm = getattr(getattr(window, "raw", None), "comm", None)
+        self._rank = comm.rank if comm is not None else -1
+        self._proc = comm.proc if comm is not None else None
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._win, name)
 
+    def _emit(self, target_rank: int, target_disp: int, nbytes: int) -> None:
+        self.obs.emit(
+            Event(
+                TRACE_GET,
+                self._rank,
+                self._proc.clock if self._proc is not None else 0.0,
+                getattr(self._win, "eph", 0),
+                getattr(self._win, "win_id", None),
+                attrs={
+                    "target": target_rank,
+                    "disp": target_disp,
+                    "nbytes": nbytes,
+                },
+            )
+        )
+
     def get(self, origin, target_rank, target_disp, count=None, datatype=None) -> int:
         nbytes = self._win.get(origin, target_rank, target_disp, count, datatype)
-        self.recorder.record(target_rank, target_disp, nbytes)
+        self._emit(target_rank, target_disp, nbytes)
         return nbytes
 
     def get_blocking(self, origin, target_rank, target_disp, count=None, datatype=None) -> int:
         nbytes = self._win.get_blocking(origin, target_rank, target_disp, count, datatype)
-        self.recorder.record(target_rank, target_disp, nbytes)
+        self._emit(target_rank, target_disp, nbytes)
         return nbytes

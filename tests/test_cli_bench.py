@@ -34,6 +34,14 @@ class TestBenchCLI:
         assert rc == 0
         assert "Ablation A4" in out
 
+    def test_reports_wall_and_virtual_time(self, capsys):
+        rc = main(["fig01"])
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert "wall time" in err
+        assert "virtual time" in err
+        assert "simulated" in err
+
     def test_unknown_id_errors(self):
         with pytest.raises(SystemExit):
             main(["nope"])

@@ -1,0 +1,149 @@
+"""Tests for the scoped-epoch context managers.
+
+``lock_epoch`` / ``lock_all_epoch`` / ``fence_epoch`` exist on the raw
+:class:`repro.mpi.Window`, the CLaMPI :class:`CachedWindow` and the
+block-cache baseline; each yields the wrapper it was called on, and the
+exit path releases the epoch even when the body raises.
+"""
+
+import numpy as np
+import pytest
+
+from repro import clampi
+from repro.baselines import BlockCachedWindow
+from repro.mpi import SimMPI, Window
+from repro.util import KiB
+
+
+def fill_and_sync(m, win, nbytes):
+    win.local_view(np.uint8)[:] = (np.arange(nbytes) + m.rank) % 251
+    m.comm_world.barrier()
+
+
+class TestRawWindow:
+    def test_lock_epoch_round_trip(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 4 * KiB)
+            fill_and_sync(m, win, 4 * KiB)
+            peer = (m.rank + 1) % m.size
+            buf = np.empty(64, np.uint8)
+            with win.lock_epoch(peer) as w:
+                assert w is win
+                win.get(buf, peer, 0)
+                # unlock on exit flushes the outstanding get
+            assert np.array_equal(buf, (np.arange(64) + peer) % 251)
+            return win.eph
+
+        results = SimMPI(nprocs=2).run(program)
+        assert all(e >= 1 for e in results)
+
+    def test_lock_all_epoch_and_fence_epoch(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 4 * KiB)
+            fill_and_sync(m, win, 4 * KiB)
+            peer = (m.rank + 1) % m.size
+            buf = np.empty(64, np.uint8)
+            with win.lock_all_epoch():
+                win.get(buf, peer, 0)
+            eph_after_lock = win.eph
+            with win.fence_epoch():
+                win.get(buf, peer, 64)
+            assert win.eph > eph_after_lock
+            win.free()
+            return True
+
+        assert all(SimMPI(nprocs=2).run(program))
+
+    def test_fence_epoch_scoping(self):
+        from repro.mpi.errors import EpochError
+
+        def program(m):
+            win = Window.allocate(m.comm_world, 1 * KiB)
+            m.comm_world.barrier()
+            buf = np.empty(8, np.uint8)
+            # a bare fence is a synchronisation boundary, not an RMA epoch
+            win.fence()
+            with pytest.raises(EpochError):
+                win.get(buf, m.rank, 0)
+            # mixing synchronisation modes inside the scoped epoch is an error
+            with win.fence_epoch():
+                with pytest.raises(EpochError):
+                    win.lock(m.rank)
+                with pytest.raises(EpochError):
+                    win.lock_all()
+            # ...and the epoch really closed on exit
+            with pytest.raises(EpochError):
+                win.get(buf, m.rank, 0)
+            return True
+
+        assert all(SimMPI(nprocs=2).run(program))
+
+    def test_exception_still_unlocks(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 1 * KiB)
+            m.comm_world.barrier()
+            with pytest.raises(RuntimeError, match="boom"):
+                with win.lock_epoch(m.rank):
+                    raise RuntimeError("boom")
+            # a fresh lock towards the same rank must succeed: the epoch
+            # context released the previous lock on the error path
+            with win.lock_epoch(m.rank):
+                pass
+            return True
+
+        assert all(SimMPI(nprocs=2).run(program))
+
+
+class TestCachedWindow:
+    def test_lock_epoch_yields_cached_wrapper(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world, 4 * KiB, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            fill_and_sync(m, win, 4 * KiB)
+            peer = (m.rank + 1) % m.size
+            buf = np.empty(64, np.uint8)
+            with win.lock_epoch(peer) as w:
+                assert w is win  # the caching wrapper, not the raw window
+                w.get_blocking(buf, peer, 0)
+                w.get_blocking(buf, peer, 0)
+            return win.stats.snapshot()
+
+        for snap in SimMPI(nprocs=2).run(program):
+            assert snap["gets"] == 2
+            assert snap["hit_full"] == 1
+
+    def test_fence_epoch_on_cached_window(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world, 4 * KiB, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            fill_and_sync(m, win, 4 * KiB)
+            peer = (m.rank + 1) % m.size
+            buf = np.empty(64, np.uint8)
+            with win.fence_epoch() as w:
+                w.get(buf, peer, 0)
+            assert np.array_equal(buf, (np.arange(64) + peer) % 251)
+            return True
+
+        assert all(SimMPI(nprocs=2).run(program))
+
+
+class TestBlockCacheBaseline:
+    def test_lock_all_epoch(self):
+        def program(m):
+            raw = Window.allocate(m.comm_world, 4 * KiB)
+            fill_and_sync(m, raw, 4 * KiB)
+            win = BlockCachedWindow(raw, block_size=256, memory_bytes=8 * 256)
+            peer = (m.rank + 1) % m.size
+            buf = np.empty(64, np.uint8)
+            with win.lock_all_epoch() as w:
+                assert w is win
+                w.get_blocking(buf, peer, 0)
+                w.get_blocking(buf, peer, 0)
+            assert np.array_equal(buf, (np.arange(64) + peer) % 251)
+            return win.stats.gets, win.stats.block_hits
+
+        for gets, hits in SimMPI(nprocs=2).run(program):
+            assert gets == 2
+            assert hits >= 1
