@@ -223,12 +223,24 @@ class BarnesHutApp:
         trace: bool = False,
         perf: PerfModel | None = None,
         eps: float = 1e-3,
+        faults=None,
+        retry=None,
     ) -> BHRunResult:
-        """Run the distributed force phase on ``nprocs`` ranks."""
+        """Run the distributed force phase on ``nprocs`` ranks.
+
+        ``faults`` (a :class:`repro.faults.FaultPlan`) and ``retry`` (a
+        :class:`repro.faults.RetryPolicy`) are forwarded to the simulated
+        MPI world for chaos runs; the forces must stay bit-identical.
+        """
         spec = spec or CacheSpec.fompi()
         if spec.kind.value == "clampi":
             spec = spec.with_mode(clampi.Mode.USER_DEFINED)
-        mpi = SimMPI(nprocs=nprocs, perf=perf or PerfModel.spread(nprocs))
+        mpi = SimMPI(
+            nprocs=nprocs,
+            perf=perf or PerfModel.spread(nprocs),
+            faults=faults,
+            retry=retry,
+        )
         results = mpi.run(
             _bh_rank_program, self.tree, self.pos, self.mass, self.theta, spec,
             trace, eps,

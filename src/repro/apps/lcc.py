@@ -102,11 +102,23 @@ class LCCApp:
         spec: CacheSpec | None = None,
         trace: bool = False,
         perf: PerfModel | None = None,
+        faults=None,
+        retry=None,
     ) -> LCCRunResult:
-        """Execute the distributed LCC computation on ``nprocs`` ranks."""
+        """Execute the distributed LCC computation on ``nprocs`` ranks.
+
+        ``faults`` (a :class:`repro.faults.FaultPlan`) and ``retry`` (a
+        :class:`repro.faults.RetryPolicy`) are forwarded to the simulated
+        MPI world for chaos runs; the result must stay bit-identical.
+        """
         spec = spec or CacheSpec.fompi()
         src, dst = self._edges
-        mpi = SimMPI(nprocs=nprocs, perf=perf or PerfModel.spread(nprocs))
+        mpi = SimMPI(
+            nprocs=nprocs,
+            perf=perf or PerfModel.spread(nprocs),
+            faults=faults,
+            retry=retry,
+        )
         results = mpi.run(_lcc_rank_program, self.csr, src, dst, spec, trace)
 
         lcc = np.zeros(self.nvertices)

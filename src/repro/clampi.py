@@ -63,6 +63,7 @@ __all__ = [
     "Mode",
     "SCHEMA_VERSION",
     "configure",
+    "degraded",
     "invalidate",
     "resolve_config",
     "stats",
@@ -151,6 +152,17 @@ def wrap(
 def invalidate(window: CachedWindow) -> None:
     """``CLAMPI_Invalidate``: drop all cached entries of ``window``."""
     window.invalidate()
+
+
+def degraded(window: CachedWindow) -> bool:
+    """True while ``window``'s cache is quarantined (serving gets direct).
+
+    A streak of storage faults self-disables the cache until a probe
+    window of direct gets has passed — see ``docs/resilience.md``.  The
+    ``quarantines`` / ``degraded_gets`` counters of :func:`stats` carry
+    the cumulative history.
+    """
+    return window.degraded
 
 
 def stats(window: CachedWindow) -> CacheStats:

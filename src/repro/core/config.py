@@ -99,6 +99,11 @@ class Config:
     allocator_fit: str = "best"  #: "best" (paper) or "first" (ablation)
     record_timeline: bool = False  #: sample (eph, gets, hits) at epoch closes
     seed: int = 0xC1A09          #: deterministic hashing / sampling
+    #: consecutive storage faults before the cache quarantines itself
+    #: (self-disables and serves all gets direct); see docs/resilience.md
+    quarantine_threshold: int = 4
+    #: degraded gets to serve before probing whether the fault cleared
+    quarantine_probe_interval: int = 512
 
     def __post_init__(self) -> None:
         if self.index_entries < 1:
@@ -115,6 +120,10 @@ class Config:
             raise ValueError("max_capacity_evictions must be >= 0")
         if self.allocator_fit not in ("best", "first"):
             raise ValueError(f"unknown allocator_fit: {self.allocator_fit}")
+        if self.quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        if self.quarantine_probe_interval < 1:
+            raise ValueError("quarantine_probe_interval must be >= 1")
 
     def with_sizes(self, index_entries: int, storage_bytes: int) -> "Config":
         """Copy with new |I_w| / |S_w| (used by the adaptive controller)."""

@@ -25,7 +25,9 @@ from enum import Enum
 #: Version of the public ``CacheStats.snapshot()`` schema.  Bump whenever a
 #: counter is added, removed or renamed so downstream consumers (captures,
 #: dashboards, the obs report CLI) can detect incompatible dumps.
-SCHEMA_VERSION = 1
+#: v2: added the resilience counters (faults_injected, retries,
+#: storage_faults, degraded_gets, quarantines).
+SCHEMA_VERSION = 2
 
 
 class AccessType(Enum):
@@ -59,6 +61,12 @@ class Counters:
     adjustments: int = 0            #: adaptive parameter changes
     bytes_from_cache: int = 0
     bytes_from_network: int = 0
+    # -- resilience counters (schema v2) --------------------------------
+    faults_injected: int = 0        #: injected get/put/flush faults observed
+    retries: int = 0                #: backoff retries performed underneath
+    storage_faults: int = 0         #: injected S_w allocation failures
+    degraded_gets: int = 0          #: gets served direct while quarantined
+    quarantines: int = 0            #: times the cache self-disabled
 
     def record_access(self, access: AccessType) -> None:
         self.gets += 1
@@ -128,6 +136,26 @@ class CacheStats:
     def record_adjustment(self) -> None:
         self.total.adjustments += 1
         self.interval.adjustments += 1
+
+    def record_faults(self, n: int = 1) -> None:
+        self.total.faults_injected += n
+        self.interval.faults_injected += n
+
+    def record_retries(self, n: int = 1) -> None:
+        self.total.retries += n
+        self.interval.retries += n
+
+    def record_storage_fault(self) -> None:
+        self.total.storage_faults += 1
+        self.interval.storage_faults += 1
+
+    def record_degraded_get(self) -> None:
+        self.total.degraded_gets += 1
+        self.interval.degraded_gets += 1
+
+    def record_quarantine(self) -> None:
+        self.total.quarantines += 1
+        self.interval.quarantines += 1
 
     def record_cache_bytes(self, nbytes: int) -> None:
         self.total.bytes_from_cache += nbytes

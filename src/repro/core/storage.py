@@ -20,7 +20,7 @@ cache's job, not the allocator's (weak caching, Sec. III-D2).
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
@@ -56,9 +56,23 @@ class Storage:
     ``fit`` selects the allocation policy: ``"best"`` (the paper's choice —
     AVL-indexed best fit, O(log N)) or ``"first"`` (first fit by walking the
     descriptor list, O(N) — kept as an ablation of the design decision).
+
+    ``fault_hook``, when given, is consulted with the (aligned) request
+    size before every allocation and may raise
+    :class:`~repro.mpi.errors.StorageFault` to simulate memory pressure —
+    the integration point of the :mod:`repro.faults` chaos machinery.  The
+    storage itself stays policy-free: deciding how to *react* to the fault
+    (degrade, quarantine) is the caching engine's job, mirroring how the
+    ``None`` return leaves eviction decisions to the cache.
     """
 
-    def __init__(self, capacity: int, alignment: int = CACHE_LINE, fit: str = "best"):
+    def __init__(
+        self,
+        capacity: int,
+        alignment: int = CACHE_LINE,
+        fit: str = "best",
+        fault_hook: Callable[[int], None] | None = None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if alignment < 1:
@@ -68,6 +82,7 @@ class Storage:
         self.fit = fit
         self.capacity = capacity
         self.alignment = alignment
+        self._fault_hook = fault_hook
         self.data = np.zeros(capacity, dtype=np.uint8)
         self._free_tree = AVLTree()
         head = Descriptor(0, capacity, free=True)
@@ -102,6 +117,8 @@ class Storage:
         if nbytes < 0:
             raise ValueError(f"negative allocation: {nbytes}")
         want = align_up(max(nbytes, 1), self.alignment)
+        if self._fault_hook is not None:
+            self._fault_hook(want)  # may raise StorageFault (injected pressure)
         if self.fit == "best":
             key, region, steps = self._free_tree.ceiling(want)
             self.steps += steps

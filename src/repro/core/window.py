@@ -47,10 +47,12 @@ from repro.core.stats import AccessType, CacheStats
 from repro.core.storage import Storage
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import Datatype
+from repro.mpi.errors import StorageFault
 from repro.mpi.window import Window
 from repro.obs import (
     CACHE_ACCESS,
     CACHE_ADAPT,
+    CACHE_DEGRADED,
     CACHE_EPOCH,
     CACHE_EVICT,
     CACHE_INVALIDATE,
@@ -87,6 +89,14 @@ class CachedWindow:
             AdaptiveController(cfg.adaptive_params) if cfg.adaptive else None
         )
         self._cooldown = 0  #: intervals left before the controller may act
+        # -- graceful degradation (docs/resilience.md) -------------------
+        #: consecutive storage faults since the last successful allocation
+        self._fault_streak = 0
+        self._quarantined = False
+        self._probe_countdown = 0
+        #: last observed (faults_injected, retries) of the wrapped window,
+        #: folded into the stats snapshot incrementally
+        self._win_fault_base = [0, 0]
         #: per-window telemetry bus; forwards to the process-global bus so a
         #: single capture sees every layer (repro.obs design)
         self.obs = EventBus(parent=get_bus())
@@ -175,7 +185,12 @@ class CachedWindow:
             max_iterations=cfg.max_insert_iterations,
             seed=cfg.seed,
         )
-        self._storage = Storage(self.storage_bytes, fit=cfg.allocator_fit)
+        injector = getattr(self._win.comm, "faults", None)
+        self._storage = Storage(
+            self.storage_bytes,
+            fit=cfg.allocator_fit,
+            fault_hook=injector.storage_hook if injector is not None else None,
+        )
         self._evictor = EvictionEngine(
             self._index,
             self._storage,
@@ -327,6 +342,20 @@ class CachedWindow:
         self._seq += 1
         self._size_sum += size
 
+        # Graceful degradation (docs/resilience.md): a streak of storage
+        # faults quarantines the cache — all gets go direct until a probe
+        # window has passed.  Entry is deferred to the *top* of a get so the
+        # index/storage are never mutated mid-miss.
+        if (
+            not self._quarantined
+            and self._fault_streak >= self.config.quarantine_threshold
+        ):
+            self._enter_quarantine()
+        if self._quarantined:
+            return self._serve_degraded(
+                origin, target_rank, target_disp, count, dtype, size
+            )
+
         self.cost.lookup()
         entry, _probes = self._index.lookup((target_rank, target_disp))
         if entry is not None and isinstance(entry, CacheEntry):
@@ -338,10 +367,12 @@ class CachedWindow:
                         entry, origin, target_rank, target_disp, count, dtype, size
                     )
                 self._emit_access(target_rank, target_disp, size)
+                self._sync_fault_counters()
                 self._maybe_adapt()
                 return nbytes
         nbytes = self._serve_miss(origin, target_rank, target_disp, count, dtype, size)
         self._emit_access(target_rank, target_disp, size)
+        self._sync_fault_counters()
         self._maybe_adapt()
         return nbytes
 
@@ -477,8 +508,17 @@ class CachedWindow:
     # ------------------------------------------------------------------
     def _allocate_tracked(self, size: int):
         s0 = self._storage.steps
-        desc = self._storage.allocate(size)
+        try:
+            desc = self._storage.allocate(size)
+        except StorageFault:
+            # Injected memory pressure: behaves like a failed allocation,
+            # but a streak of them quarantines the cache (see get()).
+            self.cost.avl_steps(self._storage.steps - s0)
+            self._note_storage_fault()
+            return None
         self.cost.avl_steps(self._storage.steps - s0)
+        if desc is not None:
+            self._fault_streak = 0
         return desc
 
     def _release_tracked(self, entry: CacheEntry) -> None:
@@ -575,6 +615,83 @@ class CachedWindow:
         return res.homeless is not entry
 
     # ------------------------------------------------------------------
+    # graceful degradation (fault quarantine)
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """True while the cache is quarantined and serving gets direct."""
+        return self._quarantined
+
+    def _note_storage_fault(self) -> None:
+        self._fault_streak += 1
+        self.stats.record_storage_fault()
+
+    def _enter_quarantine(self) -> None:
+        """Self-disable: drop all content, serve direct until the probe."""
+        live = self._invalidate_entries(None)
+        for n in self._orphan_waiter_bytes:
+            self.cost.copy(n)
+        self._orphan_waiter_bytes = []
+        self.cost.invalidate(live)
+        self._quarantined = True
+        self._fault_streak = 0
+        self._probe_countdown = self.config.quarantine_probe_interval
+        self.stats.record_quarantine()
+        if self.obs.enabled:
+            self._emit(
+                CACHE_DEGRADED,
+                state="quarantined",
+                dropped=live,
+                probe_in=self._probe_countdown,
+            )
+
+    def _leave_quarantine(self) -> None:
+        """Probe: re-enable caching; a new fault streak re-quarantines."""
+        self._quarantined = False
+        self._fault_streak = 0
+        self._probe_countdown = 0
+        if self.obs.enabled:
+            self._emit(CACHE_DEGRADED, state="re-enabled")
+
+    def _serve_degraded(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int,
+        dtype: Datatype,
+        size: int,
+    ) -> int:
+        """Quarantined get: straight to the network, classified FAILING."""
+        nbytes = self._win.get(origin, target_rank, target_disp, count, dtype)
+        self.stats.record_access(AccessType.FAILING)
+        self.stats.record_degraded_get()
+        self.stats.record_network_bytes(nbytes)
+        self._emit_access(target_rank, target_disp, size)
+        self._sync_fault_counters()
+        self._probe_countdown -= 1
+        if self._probe_countdown <= 0:
+            self._leave_quarantine()
+        return nbytes
+
+    def _sync_fault_counters(self) -> None:
+        """Fold the wrapped window's fault/retry counters into the stats.
+
+        The resilience layer lives in :class:`repro.mpi.Window`; the stats
+        snapshot is the cache's.  Diffing (rather than copying) keeps the
+        counters correct across adaptive rebuilds and invalidations.
+        """
+        fi = getattr(self._win, "faults_injected", 0)
+        rt = getattr(self._win, "retries", 0)
+        base = self._win_fault_base
+        if fi > base[0]:
+            self.stats.record_faults(fi - base[0])
+            base[0] = fi
+        if rt > base[1]:
+            self.stats.record_retries(rt - base[1])
+            base[1] = rt
+
+    # ------------------------------------------------------------------
     # epoch closure, invalidation, adaptation
     # ------------------------------------------------------------------
     def _on_epoch_close(self, _win: Window, targets: set[int] | None) -> None:
@@ -613,6 +730,7 @@ class CachedWindow:
         if self.mode is Mode.TRANSPARENT:
             self._invalidate_entries(targets)
 
+        self._sync_fault_counters()
         if self.obs.enabled:
             # The hook runs before ``eph`` is bumped: the stamp names the
             # epoch being closed, matching the historical timeline samples.
@@ -648,6 +766,7 @@ class CachedWindow:
         self._orphan_waiter_bytes = []
         self.cost.invalidate(live)
         self.stats.record_invalidation()
+        self._sync_fault_counters()
         if self.obs.enabled:
             self._emit(CACHE_INVALIDATE, live=live)
 

@@ -1,0 +1,58 @@
+"""CLI for the chaos harness: ``python -m repro.faults``.
+
+Runs the chaos suite (micro + LCC + Barnes-Hut, each clean vs faulted)
+and exits non-zero when any workload's faulted result is not bit-identical
+to the fault-free run, or when the plan injected nothing (a vacuous pass).
+
+``--obs capture.jsonl`` streams every telemetry event of the faulted runs
+(fault injections, retries, degradations, cache accesses) to a JSONL file
+— the artifact CI uploads when the chaos job fails, so a bad seed can be
+replayed and inspected offline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import obs
+from repro.faults.chaos import render, run_suite
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="chaos harness: fault-injected runs must stay bit-identical",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default 0)"
+    )
+    parser.add_argument(
+        "--obs",
+        metavar="PATH",
+        default=None,
+        help="stream all telemetry events of the runs to a JSONL file",
+    )
+    args = parser.parse_args(argv)
+
+    sink = None
+    if args.obs is not None:
+        sink = obs.get_bus().attach(obs.JSONLSink(args.obs))
+    try:
+        outcomes = run_suite(seed=args.seed)
+    finally:
+        if sink is not None:
+            obs.get_bus().detach(sink)
+            sink.close()
+
+    print(f"chaos suite (seed={args.seed})")
+    print(render(outcomes))
+    if all(o.ok for o in outcomes):
+        print("chaos suite PASSED")
+        return 0
+    print("chaos suite FAILED", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,251 @@
+"""Deterministic fault plans and the per-rank injector.
+
+A :class:`FaultPlan` is a declarative description of what misbehaves during
+a run: a tuple of :class:`FaultRule` site filters plus one seed.  Sites are
+keyed by operation kind, source rank, destination rank and a *virtual-time*
+window, so a plan can express things like "5% of the gets rank 2 issues
+towards ranks 0-3 fail between t=1ms and t=5ms".
+
+Rule kinds
+----------
+``get`` / ``put``
+    The operation fails transiently: the window layer charges the wasted
+    round-trip, raises :class:`~repro.mpi.errors.TransientNetworkError`
+    and (policy permitting) retries with backoff.
+``flush``
+    A synchronisation call (``flush``/``flush_all``/``unlock``/
+    ``unlock_all``) times out: :class:`~repro.mpi.errors.RMATimeoutError`,
+    also retried.
+``alloc``
+    A cache-storage allocation fails
+    (:class:`~repro.mpi.errors.StorageFault`): the caching engine serves
+    the access uncached and may quarantine itself.
+``jitter``
+    The transfer succeeds but is stalled by ``stall`` extra seconds plus
+    ``stall_factor`` times the model-priced duration — congestion rather
+    than loss.  If the stalled duration exceeds the retry policy's per-op
+    timeout the transfer degenerates into an ``RMATimeoutError``.
+
+Determinism
+-----------
+Every decision is drawn from a :class:`random.Random` stream seeded with
+``(plan seed, rank, op kind)`` and consumed in the rank's own program
+order.  Because the simulated runtime executes each rank's program
+deterministically, the same plan on the same job injects the *same*
+faults at the same sites on every run — which is what lets the chaos
+harness assert bit-identical results and lets a failing CI seed be
+replayed locally.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+#: Operation kinds a rule may target.
+RULE_OPS = ("get", "put", "flush", "alloc", "jitter")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site-keyed fault source within a :class:`FaultPlan`.
+
+    ``ranks`` filters the *issuing* (source) rank, ``targets`` the target
+    rank of the operation; ``None`` means "any".  ``t_start``/``t_end``
+    bound the issuing rank's virtual clock.  ``stall``/``stall_factor``
+    are only meaningful for ``jitter`` rules.
+    """
+
+    op: str
+    probability: float = 1.0
+    ranks: frozenset[int] | None = None
+    targets: frozenset[int] | None = None
+    t_start: float = 0.0
+    t_end: float = math.inf
+    stall: float = 0.0
+    stall_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in RULE_OPS:
+            raise ValueError(f"unknown fault op {self.op!r}; expected one of {RULE_OPS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.t_start < 0 or self.t_end < self.t_start:
+            raise ValueError(
+                f"invalid time window [{self.t_start}, {self.t_end})"
+            )
+        if self.stall < 0 or self.stall_factor < 0:
+            raise ValueError("stall / stall_factor must be >= 0")
+        if self.op == "jitter" and self.stall == 0.0 and self.stall_factor == 0.0:
+            raise ValueError("a jitter rule needs stall and/or stall_factor > 0")
+        # Freeze mutable filter arguments into frozensets.
+        for name in ("ranks", "targets"):
+            v = getattr(self, name)
+            if v is not None and not isinstance(v, frozenset):
+                object.__setattr__(self, name, frozenset(v))
+
+    def matches(self, op: str, rank: int, target: int | None, now: float) -> bool:
+        """Does this rule apply to the given site at virtual time ``now``?
+
+        ``target is None`` (e.g. a ``flush_all`` completing operations to
+        every peer, or an allocation with no peer) matches any ``targets``
+        filter.
+        """
+        if op != self.op:
+            return False
+        if self.ranks is not None and rank not in self.ranks:
+            return False
+        if self.targets is not None and target is not None and target not in self.targets:
+            return False
+        return self.t_start <= now < self.t_end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic description of everything that misbehaves."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    # -- convenience constructors ---------------------------------------
+    @classmethod
+    def of(cls, *rules: FaultRule, seed: int = 0) -> "FaultPlan":
+        return cls(rules=tuple(rules), seed=seed)
+
+    @classmethod
+    def transient_gets(
+        cls,
+        probability: float,
+        seed: int = 0,
+        ranks: Iterable[int] | None = None,
+        targets: Iterable[int] | None = None,
+    ) -> "FaultPlan":
+        """Plan injecting transient failures into a fraction of all gets."""
+        return cls.of(
+            FaultRule(
+                "get",
+                probability=probability,
+                ranks=frozenset(ranks) if ranks is not None else None,
+                targets=frozenset(targets) if targets is not None else None,
+            ),
+            seed=seed,
+        )
+
+    def with_rules(self, *extra: FaultRule) -> "FaultPlan":
+        return FaultPlan(rules=self.rules + tuple(extra), seed=self.seed)
+
+    def rules_for(self, op: str) -> tuple[FaultRule, ...]:
+        return tuple(r for r in self.rules if r.op == op)
+
+
+class FaultInjector:
+    """Per-rank evaluator of a :class:`FaultPlan`.
+
+    One injector exists per simulated rank (built by
+    :class:`~repro.mpi.simmpi.MPIProcess`); its decision streams are keyed
+    by ``(plan seed, rank, op kind)`` so they are independent of sibling
+    ranks and of thread interleaving.  ``clock`` supplies the rank's
+    current virtual time for the rules' time windows.
+    """
+
+    def __init__(self, plan: FaultPlan, rank: int, clock: Callable[[], float]):
+        self.plan = plan
+        self.rank = rank
+        self._clock = clock
+        self._streams: dict[str, random.Random] = {}
+        #: how many faults fired, per op kind (diagnostic)
+        self.injected: dict[str, int] = {}
+        #: how many decisions were evaluated, per op kind (diagnostic)
+        self.consulted: dict[str, int] = {}
+        # Pre-split rules by op so hot paths don't scan unrelated rules.
+        self._by_op: dict[str, tuple[FaultRule, ...]] = {
+            op: plan.rules_for(op) for op in RULE_OPS
+        }
+
+    # ------------------------------------------------------------------
+    def _stream(self, op: str) -> random.Random:
+        rng = self._streams.get(op)
+        if rng is None:
+            rng = random.Random(f"{self.plan.seed}:{self.rank}:{op}")
+            self._streams[op] = rng
+        return rng
+
+    def draw(self, op: str) -> float:
+        """One deterministic uniform draw from the ``op`` stream."""
+        return self._stream(op).random()
+
+    # ------------------------------------------------------------------
+    def fire(self, op: str, target: int | None = None) -> FaultRule | None:
+        """Decide whether a fault fires at this site; returns the rule.
+
+        Consumes one uniform draw per *matching* rule (in plan order), so
+        the decision sequence is a pure function of the plan and the
+        rank's own operation order.
+        """
+        rules = self._by_op.get(op)
+        if not rules:
+            return None
+        self.consulted[op] = self.consulted.get(op, 0) + 1
+        now = self._clock()
+        for rule in rules:
+            if not rule.matches(op, self.rank, target, now):
+                continue
+            if self.draw(op) < rule.probability:
+                self.injected[op] = self.injected.get(op, 0) + 1
+                return rule
+        return None
+
+    def stall_for(self, target: int | None, base_duration: float) -> float:
+        """Total injected jitter stall for one transfer priced at ``base_duration``."""
+        rules = self._by_op.get("jitter")
+        if not rules:
+            return 0.0
+        self.consulted["jitter"] = self.consulted.get("jitter", 0) + 1
+        now = self._clock()
+        extra = 0.0
+        fired = False
+        for rule in rules:
+            if not rule.matches("jitter", self.rank, target, now):
+                continue
+            if self.draw("jitter") < rule.probability:
+                extra += rule.stall + rule.stall_factor * base_duration
+                fired = True
+        if fired:
+            self.injected["jitter"] = self.injected.get("jitter", 0) + 1
+        return extra
+
+    # ------------------------------------------------------------------
+    def storage_hook(self, nbytes: int) -> None:
+        """Allocation-site hook for :class:`repro.core.storage.Storage`.
+
+        Raises :class:`~repro.mpi.errors.StorageFault` when an ``alloc``
+        rule fires; a plain return means the allocation proceeds.
+        """
+        rule = self.fire("alloc", None)
+        if rule is not None:
+            # Imported lazily so repro.faults stays a leaf package (the MPI
+            # layer imports repro.faults at module level, not vice versa).
+            from repro.mpi.errors import StorageFault
+
+            raise StorageFault(
+                f"injected allocation failure ({nbytes} B) at rank {self.rank}"
+            )
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+
+def make_injectors(
+    plan: FaultPlan, nprocs: int, clocks: Sequence[Callable[[], float]]
+) -> list[FaultInjector]:
+    """Build one injector per rank (helper for custom harnesses)."""
+    if len(clocks) != nprocs:
+        raise ValueError("need one clock callable per rank")
+    return [FaultInjector(plan, r, clocks[r]) for r in range(nprocs)]

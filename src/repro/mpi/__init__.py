@@ -34,7 +34,15 @@ from repro.mpi.datatypes import (
     Predefined,
     Vector,
 )
-from repro.mpi.errors import EpochError, MPIError, WindowError
+from repro.mpi.errors import (
+    EpochError,
+    FaultError,
+    MPIError,
+    RMATimeoutError,
+    StorageFault,
+    TransientNetworkError,
+    WindowError,
+)
 from repro.mpi.simmpi import MPIProcess, SimMPI
 from repro.mpi.window import LOCK_EXCLUSIVE, LOCK_SHARED, Request, Window
 
@@ -45,6 +53,7 @@ __all__ = [
     "Datatype",
     "EpochError",
     "FLOAT32",
+    "FaultError",
     "FLOAT64",
     "INT32",
     "INT64",
@@ -54,9 +63,12 @@ __all__ = [
     "MPIError",
     "MPIProcess",
     "Predefined",
+    "RMATimeoutError",
     "ReduceOp",
     "Request",
     "SimMPI",
+    "StorageFault",
+    "TransientNetworkError",
     "Vector",
     "Window",
     "WindowError",

@@ -46,9 +46,23 @@ class Communicator:
     sync points line up.
     """
 
-    def __init__(self, proc: SimProcess, perf: PerfModel, ranks: Sequence[int] | None = None):
+    def __init__(
+        self,
+        proc: SimProcess,
+        perf: PerfModel,
+        ranks: Sequence[int] | None = None,
+        *,
+        faults: Any = None,
+        retry: Any = None,
+    ):
         self._proc = proc
         self._perf = perf
+        #: per-rank fault injector (:class:`repro.faults.FaultInjector`)
+        #: or ``None`` for a fault-free job
+        self.faults = faults
+        #: retry/backoff policy (:class:`repro.faults.RetryPolicy`) used by
+        #: windows created over this communicator when faults are active
+        self.retry = retry
         self._ranks = list(ranks) if ranks is not None else list(range(proc.nprocs))
         if proc.rank not in self._ranks:
             raise ValueError(f"rank {proc.rank} not in communicator group")

@@ -17,3 +17,42 @@ class EpochError(MPIError):
 
 class DatatypeError(MPIError):
     """Malformed datatype construction or use."""
+
+
+class FaultError(MPIError):
+    """Base class for failures raised by the fault-injection subsystem.
+
+    These model *environmental* failures (a flaky interconnect, memory
+    pressure) rather than API misuse: they are only ever raised while a
+    :class:`repro.faults.FaultInjector` is attached to the job, and the
+    transient flavours are retried by the resilience layer before they
+    surface to the application.
+    """
+
+
+class TransientNetworkError(FaultError):
+    """An injected transient get/put failure (NIC/network-level error).
+
+    Retryable: the MPI window layer re-issues the operation with
+    exponential backoff (in virtual time) up to the configured attempt
+    budget before letting the error propagate.
+    """
+
+
+class RMATimeoutError(FaultError):
+    """An RMA operation or synchronisation exceeded its virtual-time budget.
+
+    Raised for injected flush/unlock failures and for transfers whose
+    (jitter-stalled) completion time exceeds the per-op timeout of the
+    active :class:`repro.faults.RetryPolicy`.  Retryable, like
+    :class:`TransientNetworkError`.
+    """
+
+
+class StorageFault(FaultError):
+    """An injected cache-storage allocation failure (memory pressure).
+
+    Not retryable at the MPI layer: the caching engine degrades instead —
+    the access falls back to a direct get and, after repeated faults, the
+    cache quarantines itself (see ``docs/resilience.md``).
+    """

@@ -17,18 +17,37 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.mpi.comm import Communicator
 from repro.net import PerfModel
 from repro.runtime import SimProcess, SimWorld
 
 
 class MPIProcess:
-    """Per-rank handle passed to simulated MPI programs."""
+    """Per-rank handle passed to simulated MPI programs.
 
-    def __init__(self, proc: SimProcess, perf: PerfModel):
+    When the job carries a :class:`~repro.faults.FaultPlan`, each rank
+    builds its own :class:`~repro.faults.FaultInjector` here (seeded by
+    ``(plan seed, rank)``) and hands it to the communicator, from which
+    windows pick it up.
+    """
+
+    def __init__(
+        self,
+        proc: SimProcess,
+        perf: PerfModel,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         self.proc = proc
         self.perf = perf
-        self.comm_world = Communicator(proc, perf)
+        self.faults = (
+            FaultInjector(faults, proc.rank, lambda: proc.clock)
+            if faults is not None
+            else None
+        )
+        self.retry = retry
+        self.comm_world = Communicator(proc, perf, faults=self.faults, retry=retry)
 
     @property
     def rank(self) -> int:
@@ -60,6 +79,16 @@ class SimMPI:
     perf:
         Full :class:`~repro.net.PerfModel` override; built from defaults when
         omitted.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`; when given, every rank
+        runs with a deterministic per-rank fault injector and the window
+        layer retries transient failures according to ``retry``.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy` override (defaults to
+        :data:`repro.faults.DEFAULT_RETRY_POLICY` when faults are active).
+    join_timeout:
+        Wall-clock seconds rank threads get to terminate after the run
+        settles before the scheduler reports them as hung.
     """
 
     def __init__(
@@ -69,10 +98,16 @@ class SimMPI:
         perf: PerfModel | None = None,
         schedule: str = "deterministic",
         schedule_seed: int = 0,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        join_timeout: float = 30.0,
     ):
         self.nprocs = nprocs
         self.schedule = schedule
         self.schedule_seed = schedule_seed
+        self.join_timeout = join_timeout
+        self.faults = faults
+        self.retry = retry
         self.perf = perf or PerfModel.default(nprocs, ranks_per_node)
         if self.perf.topology.nprocs != nprocs:
             raise ValueError(
@@ -87,11 +122,18 @@ class SimMPI:
         Returns the list of per-rank return values.  The elapsed virtual
         time is available afterwards as :attr:`elapsed`.
         """
-        world = SimWorld(self.nprocs, schedule=self.schedule, seed=self.schedule_seed)
+        world = SimWorld(
+            self.nprocs,
+            schedule=self.schedule,
+            seed=self.schedule_seed,
+            join_timeout=self.join_timeout,
+        )
         self._world = world
 
         def entry(proc: SimProcess, *a: Any, **kw: Any) -> Any:
-            return program(MPIProcess(proc, self.perf), *a, **kw)
+            return program(
+                MPIProcess(proc, self.perf, self.faults, self.retry), *a, **kw
+            )
 
         return world.run(entry, *args, **kwargs)
 

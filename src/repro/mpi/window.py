@@ -34,10 +34,18 @@ from typing import Any, Callable, Iterator, Mapping
 
 import numpy as np
 
+from repro.faults import DEFAULT_RETRY_POLICY
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import BYTE, Datatype, from_numpy
-from repro.mpi.errors import EpochError, WindowError
+from repro.mpi.errors import (
+    EpochError,
+    RMATimeoutError,
+    TransientNetworkError,
+    WindowError,
+)
 from repro.obs import (
+    FAULT_INJECTED,
+    FAULT_RETRY,
     NET_TRANSFER,
     RMA_ACCUMULATE,
     RMA_FENCE,
@@ -145,6 +153,12 @@ class Window:
         self._bytes_by_distance: dict = {}
         #: telemetry bus (process-global); hot paths gate on ``.enabled``
         self._obs = get_bus()
+        #: per-rank fault injector (None on a fault-free job) and the
+        #: retry/backoff policy applied to transient failures
+        self._faults = getattr(comm, "faults", None)
+        self._retry = getattr(comm, "retry", None) or DEFAULT_RETRY_POLICY
+        self.faults_injected = 0  #: injected faults that raised on this window
+        self.retries = 0          #: retry attempts performed on this window
 
     # ------------------------------------------------------------------
     # creation / destruction (collective)
@@ -272,7 +286,14 @@ class Window:
         self._check_alive()
         if rank not in self._locked:
             raise EpochError(f"unlock({rank}) without a matching lock")
+        if self._faults is None:
+            self._unlock_once(rank)
+        else:
+            self._resilient("flush", rank, lambda: self._unlock_once(rank))
+
+    def _unlock_once(self, rank: int) -> None:
         t0 = self._comm.proc.clock
+        self._inject_sync_fault(rank)
         self._complete({rank})
         self._locked.discard(rank)
         if self._obs.enabled:
@@ -286,7 +307,14 @@ class Window:
         self._check_alive()
         if not self._locked_all:
             raise EpochError("unlock_all without lock_all")
+        if self._faults is None:
+            self._unlock_all_once()
+        else:
+            self._resilient("flush", None, self._unlock_all_once)
+
+    def _unlock_all_once(self) -> None:
         t0 = self._comm.proc.clock
+        self._inject_sync_fault(None)
         self._complete(None)
         self._locked_all = False
         if self._obs.enabled:
@@ -304,7 +332,14 @@ class Window:
         """
         self._check_alive()
         self._require_epoch(rank, "flush")
+        if self._faults is None:
+            self._flush_once(rank)
+        else:
+            self._resilient("flush", rank, lambda: self._flush_once(rank))
+
+    def _flush_once(self, rank: int) -> None:
         t0 = self._comm.proc.clock
+        self._inject_sync_fault(rank)
         self._complete({rank})
         if self._obs.enabled:
             self._emit(
@@ -317,7 +352,14 @@ class Window:
         self._check_alive()
         if not (self._locked_all or self._locked):
             raise EpochError("flush_all outside an access epoch")
+        if self._faults is None:
+            self._flush_all_once()
+        else:
+            self._resilient("flush", None, self._flush_all_once)
+
+    def _flush_all_once(self) -> None:
         t0 = self._comm.proc.clock
+        self._inject_sync_fault(None)
         self._complete(None)
         if self._obs.enabled:
             self._emit(
@@ -470,8 +512,29 @@ class Window:
         the target's ``disp_unit``.  The data is visible in ``origin``
         immediately (simulation simplification) but the virtual clock only
         accounts completion at the next synchronisation.
+
+        Under an active fault plan an injected transient failure is
+        retried with exponential backoff (charged in virtual time) up to
+        the retry policy's attempt budget; re-issuing moves the same bytes,
+        so results stay bit-identical to a fault-free run.
         """
         datatype, count = self._resolve_dtype(origin, count, datatype)
+        if self._faults is None:
+            return self._get_once(origin, target_rank, target_disp, count, datatype)
+        return self._resilient(
+            "get",
+            target_rank,
+            lambda: self._get_once(origin, target_rank, target_disp, count, datatype),
+        )
+
+    def _get_once(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int,
+        datatype: Datatype,
+    ) -> int:
         payload = self._access(target_rank, target_disp, count, datatype, "get")
         origin_bytes = self._origin_bytes(origin)
         nbytes = len(payload)
@@ -480,6 +543,7 @@ class Window:
                 f"origin buffer too small: {origin_bytes.nbytes} < {nbytes}"
             )
         origin_bytes[:nbytes] = payload
+        self._inject_op_fault("get", target_rank, nbytes)
         self._post(target_rank, nbytes)
         if self._obs.enabled:
             self._emit(
@@ -497,6 +561,22 @@ class Window:
     ) -> int:
         """Post a non-blocking put; returns the payload size in bytes."""
         datatype, count = self._resolve_dtype(origin, count, datatype)
+        if self._faults is None:
+            return self._put_once(origin, target_rank, target_disp, count, datatype)
+        return self._resilient(
+            "put",
+            target_rank,
+            lambda: self._put_once(origin, target_rank, target_disp, count, datatype),
+        )
+
+    def _put_once(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_disp: int,
+        count: int,
+        datatype: Datatype,
+    ) -> int:
         origin_bytes = self._origin_bytes(origin)
         nbytes = datatype.transfer_size(count)
         if origin_bytes.nbytes < nbytes:
@@ -507,6 +587,7 @@ class Window:
             target_rank, target_disp, count, datatype, "put",
             payload=origin_bytes[:nbytes],
         )
+        self._inject_op_fault("put", target_rank, nbytes)
         self._post(target_rank, nbytes)
         if self._obs.enabled:
             self._emit(
@@ -675,6 +756,32 @@ class Window:
         issue = perf.issue_time(self._comm.rank, target_rank, nbytes)
         proc.advance(issue)
         duration = perf.get_time(self._comm.rank, target_rank, nbytes)
+        if self._faults is not None:
+            # Congestion jitter: stall the transfer beyond the model-priced
+            # duration.  A stall that blows the per-op timeout degenerates
+            # into a (retryable) timeout failure.
+            stall = self._faults.stall_for(target_rank, duration)
+            if stall > 0.0:
+                duration += stall
+                if self._obs.enabled:
+                    self._emit(
+                        FAULT_INJECTED, op="jitter", target=target_rank, stall=stall
+                    )
+                timeout = self._retry.op_timeout
+                if timeout is not None and duration > timeout:
+                    proc.advance(timeout)
+                    self.faults_injected += 1
+                    if self._obs.enabled:
+                        self._emit(
+                            FAULT_INJECTED,
+                            op="timeout",
+                            target=target_rank,
+                            wasted=timeout,
+                        )
+                    raise RMATimeoutError(
+                        f"transfer of {nbytes} B to rank {target_rank} stalled "
+                        f"{stall:.3e}s past the {timeout:.3e}s op timeout"
+                    )
         self._pending.append(_PendingOp(target_rank, proc.clock, duration))
         self._bytes_transferred += nbytes
         dist = perf.topology.distance(self._comm.rank, target_rank)
@@ -689,6 +796,82 @@ class Window:
                 distance=dist.name,
                 issue=issue,
             )
+
+    # -- fault injection / resilience ----------------------------------
+    def _inject_op_fault(self, op: str, target: int, nbytes: int) -> None:
+        """Consult the injector for a get/put site; raise on a fired rule.
+
+        A transient failure still costs time: the initiator wasted the
+        issue overhead plus the round trip before the NIC reported the
+        error (capped at the per-op timeout when one is configured).
+        """
+        inj = self._faults
+        if inj is None:
+            return
+        if inj.fire(op, target) is None:
+            return
+        perf = self._comm.perf
+        wasted = perf.issue_time(self._comm.rank, target, nbytes) + perf.get_time(
+            self._comm.rank, target, nbytes
+        )
+        timeout = self._retry.op_timeout
+        if timeout is not None:
+            wasted = min(wasted, timeout)
+        self._comm.proc.advance(wasted)
+        self.faults_injected += 1
+        if self._obs.enabled:
+            self._emit(
+                FAULT_INJECTED, op=op, target=target, nbytes=nbytes, wasted=wasted
+            )
+        raise TransientNetworkError(
+            f"injected transient {op} failure towards rank {target} "
+            f"({nbytes} B)"
+        )
+
+    def _inject_sync_fault(self, target: int | None) -> None:
+        """Consult the injector for a flush/unlock site; raise on fire."""
+        inj = self._faults
+        if inj is None:
+            return
+        if inj.fire("flush", target) is None:
+            return
+        wasted = self._retry.op_timeout or 10 * SYNC_OVERHEAD
+        self._comm.proc.advance(wasted)
+        self.faults_injected += 1
+        if self._obs.enabled:
+            self._emit(FAULT_INJECTED, op="flush", target=target, wasted=wasted)
+        where = "all ranks" if target is None else f"rank {target}"
+        raise RMATimeoutError(f"injected synchronisation timeout towards {where}")
+
+    def _resilient(self, op: str, target: int | None, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` retrying transient faults with virtual-time backoff.
+
+        Retries :class:`TransientNetworkError` and :class:`RMATimeoutError`
+        up to the policy's attempt budget; each backoff delay is charged to
+        the rank's virtual clock and drawn deterministically from the
+        injector's ``backoff`` stream.
+        """
+        policy = self._retry
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except (TransientNetworkError, RMATimeoutError) as exc:
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.delay(attempt, self._faults.draw("backoff"))
+                self._comm.proc.advance(delay)
+                self.retries += 1
+                if self._obs.enabled:
+                    self._emit(
+                        FAULT_RETRY,
+                        op=op,
+                        target=target,
+                        attempt=attempt,
+                        delay=delay,
+                        error=type(exc).__name__,
+                    )
+                attempt += 1
 
     def _emit(self, kind: str, duration: float = 0.0, **attrs: Any) -> None:
         """Publish one telemetry event stamped (rank, virtual time, epoch)."""

@@ -56,11 +56,34 @@ class NetworkModel:
         default_factory=lambda: dict(DEFAULT_BANDWIDTH)
     )
 
+    def _params(self, distance: Distance) -> tuple[float, float]:
+        """The (alpha, beta) pair for one distance, validated.
+
+        A custom model with a missing class or a zero/negative bandwidth
+        would otherwise surface as a bare ``KeyError`` or a division by
+        zero (or, worse, a negative time) deep inside a run.
+        """
+        try:
+            alpha = self.latency[distance]
+            bw = self.bandwidth[distance]
+        except KeyError:
+            raise ValueError(
+                f"network model has no parameters for {distance!r}; "
+                f"latency covers {sorted(d.name for d in self.latency)}, "
+                f"bandwidth covers {sorted(d.name for d in self.bandwidth)}"
+            ) from None
+        if bw <= 0:
+            raise ValueError(
+                f"bandwidth for {distance!r} must be > 0, got {bw}"
+            )
+        return alpha, bw
+
     def transfer_time(self, distance: Distance, nbytes: int) -> float:
         """Time for a one-sided transfer of ``nbytes`` over ``distance``."""
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        return self.latency[distance] + nbytes / self.bandwidth[distance]
+        alpha, bw = self._params(distance)
+        return alpha + nbytes / bw
 
     def injection_time(self, distance: Distance, nbytes: int) -> float:
         """CPU-side time to *issue* a non-blocking transfer.
@@ -70,7 +93,8 @@ class NetworkModel:
         Fig. 8.  We model it as a small fraction of the base latency.
         """
         del nbytes
-        return 0.15 * self.latency[distance]
+        alpha, _bw = self._params(distance)
+        return 0.15 * alpha
 
 
 @dataclass(frozen=True)
@@ -104,6 +128,11 @@ class MemoryModel:
             if nbytes <= self.hot_threshold
             else self.copy_bandwidth_cold
         )
+        if bw <= 0:
+            regime = "hot" if nbytes <= self.hot_threshold else "cold"
+            raise ValueError(
+                f"copy_bandwidth_{regime} must be > 0, got {bw}"
+            )
         return self.dram_latency + nbytes / bw
 
 

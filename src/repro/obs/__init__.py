@@ -39,9 +39,12 @@ from repro.obs.events import (
     ALL_KINDS,
     CACHE_ACCESS,
     CACHE_ADAPT,
+    CACHE_DEGRADED,
     CACHE_EPOCH,
     CACHE_EVICT,
     CACHE_INVALIDATE,
+    FAULT_INJECTED,
+    FAULT_RETRY,
     NET_TRANSFER,
     RMA_ACCUMULATE,
     RMA_FENCE,
@@ -60,12 +63,15 @@ __all__ = [
     "ALL_KINDS",
     "CACHE_ACCESS",
     "CACHE_ADAPT",
+    "CACHE_DEGRADED",
     "CACHE_EPOCH",
     "CACHE_EVICT",
     "CACHE_INVALIDATE",
     "CallbackSink",
     "Event",
     "EventBus",
+    "FAULT_INJECTED",
+    "FAULT_RETRY",
     "JSONLSink",
     "NET_TRANSFER",
     "NullSink",

@@ -41,7 +41,10 @@ CACHE_EVICT = "cache.evict"          #: a cache entry was evicted
 CACHE_INVALIDATE = "cache.invalidate"  #: the cache content was dropped
 CACHE_ADAPT = "cache.adapt"          #: the adaptive controller resized C_w
 CACHE_EPOCH = "cache.epoch"          #: per-epoch-closure stats sample
+CACHE_DEGRADED = "cache.degraded"    #: the cache quarantined / re-enabled itself
 TRACE_GET = "trace.get"              #: a TracingWindow recorded a get
+FAULT_INJECTED = "fault.injected"    #: the fault injector fired at a site
+FAULT_RETRY = "fault.retry"          #: a faulted RMA op was retried (backoff)
 
 ALL_KINDS = frozenset(
     {
@@ -59,7 +62,10 @@ ALL_KINDS = frozenset(
         CACHE_INVALIDATE,
         CACHE_ADAPT,
         CACHE_EPOCH,
+        CACHE_DEGRADED,
         TRACE_GET,
+        FAULT_INJECTED,
+        FAULT_RETRY,
     }
 )
 

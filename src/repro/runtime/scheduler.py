@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from enum import Enum
 from typing import Any, Callable, Sequence
 
@@ -30,7 +31,7 @@ from repro.obs import SCHED_SWITCH, Event, get_bus, virtual_time
 
 
 class DeadlockError(RuntimeError):
-    """Raised when blocked ranks can never be released."""
+    """Raised when blocked ranks can never be released, or hang outright."""
 
 
 class RankFailedError(RuntimeError):
@@ -114,11 +115,22 @@ class SimWorld:
     do not depend on scheduling order.
     """
 
-    def __init__(self, nprocs: int, schedule: str = "deterministic", seed: int = 0):
+    def __init__(
+        self,
+        nprocs: int,
+        schedule: str = "deterministic",
+        seed: int = 0,
+        join_timeout: float = 30.0,
+    ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if schedule not in ("deterministic", "random"):
             raise ValueError(f"unknown schedule: {schedule}")
+        if join_timeout <= 0:
+            raise ValueError("join_timeout must be > 0")
+        #: wall-clock budget for rank threads to terminate after the run
+        #: settles; a rank still alive past it is reported, never ignored
+        self.join_timeout = join_timeout
         self._schedule = schedule
         self._rng = random.Random(seed)
         self.nprocs = nprocs
@@ -182,11 +194,29 @@ class SimWorld:
                 or self._failure is not None
                 or self._deadlock is not None
             )
+        # One shared wall-clock deadline for all joins: a single hung rank
+        # must not multiply the wait by nprocs, and a rank that never
+        # terminates must surface as an error, not be silently ignored.
+        deadline = time.monotonic() + self.join_timeout
         for t in threads:
-            t.join(timeout=30.0)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        hung = [
+            self._procs[i] for i, t in enumerate(threads) if t.is_alive()
+        ]
         if self._failure is not None:
+            # A recorded failure wins: the hung siblings are collateral.
             rank, exc = self._failure
             raise RankFailedError(rank, exc) from exc
+        if hung:
+            detail = ", ".join(
+                f"rank {p.rank} ({p._state.value}, clock={p.clock:.3e})"
+                for p in hung
+            )
+            raise DeadlockError(
+                f"{len(hung)} rank thread(s) did not terminate within "
+                f"{self.join_timeout}s after the run settled: {detail}"
+                + (f"; scheduler reported: {self._deadlock}" if self._deadlock else "")
+            )
         if self._deadlock is not None:
             raise DeadlockError(self._deadlock)
         virtual_time.note_run(self.max_clock)

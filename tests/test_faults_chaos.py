@@ -1,0 +1,119 @@
+"""The chaos harness: fault-injected application runs stay bit-identical."""
+
+import numpy as np
+import pytest
+
+from repro.faults.chaos import (
+    ChaosOutcome,
+    default_plan,
+    default_retry,
+    merge_stats,
+    render,
+    run_lcc,
+    run_micro,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return default_plan(seed=0)
+
+
+class TestMicro:
+    def test_bit_identical_with_full_quarantine_cycle(self, plan):
+        out = run_micro(plan)
+        assert out.identical
+        assert out.ok
+        assert out.stats["faults_injected"] > 0
+        assert out.stats["retries"] > 0
+        # The micro workload deliberately drives the cache through
+        # quarantine: degradation must be visible in the merged stats.
+        assert out.stats["quarantines"] > 0
+        assert out.stats["degraded_gets"] > 0
+        assert out.faulty_elapsed > out.clean_elapsed
+
+    def test_deterministic(self, plan):
+        a = run_micro(plan)
+        b = run_micro(plan)
+        assert a.stats == b.stats
+        assert a.faulty_elapsed == b.faulty_elapsed
+
+
+class TestLCC:
+    def test_lcc_bit_identical_under_five_percent_get_failures(self, plan):
+        # The acceptance bar: >= 5% of gets failing transiently while the
+        # computed coefficients stay bit-identical.
+        assert any(
+            r.op == "get" and r.probability >= 0.05 for r in plan.rules
+        )
+        out = run_lcc(plan)
+        assert out.identical
+        assert out.ok
+        assert out.stats["faults_injected"] > 0
+
+
+class TestHarnessPlumbing:
+    def test_merge_stats_sums_and_drops_schema(self):
+        merged = merge_stats(
+            [
+                {"schema_version": 2, "gets": 3, "retries": 1},
+                {"schema_version": 2, "gets": 4},
+            ]
+        )
+        assert merged == {"gets": 7, "retries": 1}
+
+    def test_outcome_ok_requires_injection(self):
+        vacuous = ChaosOutcome(
+            name="x", identical=True, clean_elapsed=1.0, faulty_elapsed=1.0
+        )
+        assert not vacuous.ok
+
+    def test_render_mentions_workloads_and_counters(self):
+        out = ChaosOutcome(
+            name="micro",
+            identical=True,
+            clean_elapsed=1e-3,
+            faulty_elapsed=2e-3,
+            stats={"faults_injected": 5, "retries": 4},
+        )
+        text = render([out])
+        assert "micro" in text
+        assert "faults=5" in text
+        assert "2.00x" in text
+
+    def test_cli_reports_failure_on_mismatch(self, monkeypatch, capsys):
+        from repro.faults import __main__ as cli
+
+        bad = ChaosOutcome(
+            name="micro", identical=False, clean_elapsed=1.0, faulty_elapsed=1.0
+        )
+        monkeypatch.setattr(cli, "run_suite", lambda seed: [bad])
+        assert cli.main(["--seed", "1"]) == 1
+        good = ChaosOutcome(
+            name="micro",
+            identical=True,
+            clean_elapsed=1.0,
+            faulty_elapsed=1.0,
+            stats={"faults_injected": 3},
+        )
+        monkeypatch.setattr(cli, "run_suite", lambda seed: [good])
+        assert cli.main(["--seed", "1"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_cli_obs_capture_writes_jsonl(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.faults import __main__ as cli
+
+        path = tmp_path / "chaos.jsonl"
+
+        def tiny_suite(seed):
+            plan = default_plan(seed)
+            return [run_micro(plan, default_retry(), nprocs=2)]
+
+        monkeypatch.setattr(cli, "run_suite", tiny_suite)
+        assert cli.main(["--seed", "0", "--obs", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "fault.injected" in kinds

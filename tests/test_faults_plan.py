@@ -1,0 +1,192 @@
+"""Unit tests for repro.faults: plans, rules, injectors, retry policies."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    make_injectors,
+)
+from repro.mpi.errors import FaultError, StorageFault
+
+
+class TestFaultRule:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault op"):
+            FaultRule("teleport")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultRule("get", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule("get", probability=-0.1)
+
+    def test_invalid_time_window(self):
+        with pytest.raises(ValueError):
+            FaultRule("get", t_start=5.0, t_end=1.0)
+        with pytest.raises(ValueError):
+            FaultRule("get", t_start=-1.0)
+
+    def test_jitter_needs_stall(self):
+        with pytest.raises(ValueError, match="jitter"):
+            FaultRule("jitter")
+        FaultRule("jitter", stall=1e-6)  # ok
+        FaultRule("jitter", stall_factor=0.5)  # ok
+
+    def test_filters_are_frozen(self):
+        r = FaultRule("get", ranks=[1, 2], targets={0})
+        assert r.ranks == frozenset({1, 2})
+        assert r.targets == frozenset({0})
+
+    def test_matches_site_filters(self):
+        r = FaultRule("get", ranks={1}, targets={2}, t_start=1.0, t_end=2.0)
+        assert r.matches("get", 1, 2, 1.5)
+        assert not r.matches("put", 1, 2, 1.5)       # wrong op
+        assert not r.matches("get", 0, 2, 1.5)       # wrong source
+        assert not r.matches("get", 1, 3, 1.5)       # wrong target
+        assert not r.matches("get", 1, 2, 0.5)       # before window
+        assert not r.matches("get", 1, 2, 2.0)       # t_end exclusive
+
+    def test_none_target_matches_any_filter(self):
+        """flush_all / alloc sites have no single target."""
+        r = FaultRule("flush", targets={3})
+        assert r.matches("flush", 0, None, 0.0)
+
+
+class TestFaultPlan:
+    def test_of_and_with_rules(self):
+        p = FaultPlan.of(FaultRule("get"), seed=9)
+        q = p.with_rules(FaultRule("flush"))
+        assert p.seed == q.seed == 9
+        assert len(p.rules) == 1 and len(q.rules) == 2
+        assert q.rules_for("flush") == (q.rules[1],)
+
+    def test_transient_gets_constructor(self):
+        p = FaultPlan.transient_gets(0.05, seed=3, ranks=[0], targets=[1])
+        (r,) = p.rules
+        assert r.op == "get" and r.probability == 0.05
+        assert r.ranks == frozenset({0}) and r.targets == frozenset({1})
+
+
+class TestFaultInjector:
+    def _inj(self, plan, rank=0, t=0.0):
+        return FaultInjector(plan, rank, lambda: t)
+
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan.transient_gets(0.3, seed=7)
+        a = self._inj(plan)
+        b = self._inj(plan)
+        seq_a = [a.fire("get", 1) is not None for _ in range(200)]
+        seq_b = [b.fire("get", 1) is not None for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_streams_differ_by_rank_and_op(self):
+        plan = FaultPlan.of(
+            FaultRule("get", probability=0.5),
+            FaultRule("put", probability=0.5),
+            seed=1,
+        )
+        r0 = [self._inj(plan, rank=0).fire("get", 1) is not None for _ in range(64)]
+        r1 = [self._inj(plan, rank=1).fire("get", 1) is not None for _ in range(64)]
+        assert r0 != r1
+        inj = self._inj(plan)
+        gets = [inj.fire("get", 1) is not None for _ in range(64)]
+        puts = [inj.fire("put", 1) is not None for _ in range(64)]
+        assert gets != puts
+
+    def test_draws_only_consumed_by_matching_rules(self):
+        """A time-gated rule outside its window must not consume draws."""
+        gated = FaultPlan.of(
+            FaultRule("get", probability=0.5, t_start=100.0), seed=5
+        )
+        open_ = FaultPlan.of(FaultRule("get", probability=0.5), seed=5)
+        gi = self._inj(gated, t=0.0)
+        oi = self._inj(open_, t=0.0)
+        assert all(gi.fire("get", 1) is None for _ in range(32))
+        # The gated stream is untouched: firing later replays the open one.
+        gi._clock = lambda: 200.0
+        late = [gi.fire("get", 1) is not None for _ in range(32)]
+        fresh = [oi.fire("get", 1) is not None for _ in range(32)]
+        assert late == fresh
+
+    def test_injected_and_consulted_counters(self):
+        plan = FaultPlan.transient_gets(1.0, seed=0)
+        inj = self._inj(plan)
+        for _ in range(5):
+            inj.fire("get", 1)
+        inj.fire("put", 1)  # no rule: not even consulted
+        assert inj.consulted == {"get": 5}
+        assert inj.injected == {"get": 5}
+        assert inj.total_injected == 5
+
+    def test_stall_for_sums_matching_rules(self):
+        plan = FaultPlan.of(
+            FaultRule("jitter", probability=1.0, stall=1e-6),
+            FaultRule("jitter", probability=1.0, stall_factor=0.5),
+            seed=2,
+        )
+        inj = self._inj(plan)
+        assert inj.stall_for(1, 2e-6) == pytest.approx(1e-6 + 1e-6)
+        assert inj.injected["jitter"] == 1
+
+    def test_storage_hook_raises_storage_fault(self):
+        inj = self._inj(FaultPlan.of(FaultRule("alloc", probability=1.0), seed=0))
+        with pytest.raises(StorageFault) as ei:
+            inj.storage_hook(4096)
+        assert isinstance(ei.value, FaultError)
+        quiet = self._inj(FaultPlan.of(seed=0))
+        quiet.storage_hook(4096)  # no rule, no raise
+
+    def test_make_injectors(self):
+        plan = FaultPlan.of(seed=0)
+        injs = make_injectors(plan, 3, [lambda: 0.0] * 3)
+        assert [i.rank for i in injs] == [0, 1, 2]
+        with pytest.raises(ValueError):
+            make_injectors(plan, 3, [lambda: 0.0] * 2)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(op_timeout=0.0)
+
+    def test_disabled(self):
+        p = RetryPolicy.disabled()
+        assert p.max_attempts == 1 and not p.enabled
+        assert DEFAULT_RETRY_POLICY.enabled
+
+    def test_delay_exponential_and_capped(self):
+        p = RetryPolicy(base_delay=1e-6, multiplier=2.0, max_delay=5e-6, jitter=0.0)
+        assert p.delay(1) == pytest.approx(1e-6)
+        assert p.delay(2) == pytest.approx(2e-6)
+        assert p.delay(3) == pytest.approx(4e-6)
+        assert p.delay(4) == pytest.approx(5e-6)  # capped
+        assert p.delay(20) == pytest.approx(5e-6)
+
+    def test_delay_jitter_bounds(self):
+        p = RetryPolicy(base_delay=1e-6, jitter=0.25)
+        lo = p.delay(1, u=0.0)
+        mid = p.delay(1, u=0.5)
+        hi = p.delay(1, u=1.0)
+        assert lo == pytest.approx(0.75e-6)
+        assert mid == pytest.approx(1e-6)
+        assert hi == pytest.approx(1.25e-6)
+        assert all(math.isfinite(x) and x > 0 for x in (lo, mid, hi))
+
+    def test_with_timeout(self):
+        p = RetryPolicy().with_timeout(1e-3)
+        assert p.op_timeout == 1e-3

@@ -1,0 +1,158 @@
+"""Integration tests: the window layer's retry/backoff resilience.
+
+Covers the contract of docs/resilience.md: injected transient failures are
+retried transparently (bit-identical data, virtual-time cost), disabling
+retries surfaces the error deterministically, and every fault/retry is
+visible through counters and obs events.
+"""
+
+import numpy as np
+import pytest
+
+from repro import clampi, obs
+from repro.faults import FaultPlan, FaultRule, RetryPolicy
+from repro.mpi import SimMPI, Window
+from repro.mpi.errors import RMATimeoutError, TransientNetworkError
+from repro.runtime.scheduler import RankFailedError
+
+
+def _ring_get_program(mpi, rounds=16):
+    """Each rank repeatedly gets a slice from its successor's window."""
+    comm = mpi.comm_world
+    win = Window.allocate(comm, 512)
+    view = win.local_view(np.float64)
+    view[:] = np.arange(64) + 100.0 * mpi.rank
+    comm.barrier()
+    peer = (mpi.rank + 1) % mpi.size
+    buf = np.empty(8)
+    out = []
+    with win.lock_all_epoch():
+        for i in range(rounds):
+            win.get(buf, peer, (i % 8) * 64)
+            win.flush(peer)
+            out.append(buf.copy())
+    return np.vstack(out), win.faults_injected, win.retries, mpi.time
+
+
+PLAN = FaultPlan.of(
+    FaultRule("get", probability=0.3),
+    FaultRule("flush", probability=0.1),
+    seed=11,
+)
+#: At p=0.3 a 4-deep failure streak (the default budget) is not rare;
+#: tests asserting transparency use a budget streaks cannot realistically
+#: exhaust (0.3**8 ~ 7e-5 per op).
+RETRY = RetryPolicy(max_attempts=8)
+
+
+class TestRetries:
+    def test_results_bit_identical_under_faults(self):
+        clean = SimMPI(nprocs=4).run(_ring_get_program)
+        faulty = SimMPI(nprocs=4, faults=PLAN, retry=RETRY).run(_ring_get_program)
+        for (a, fa, _, _), (b, fb, _, _) in zip(clean, faulty):
+            assert np.array_equal(a, b)
+            assert fa == 0
+        assert sum(f for _, f, _, _ in faulty) > 0
+
+    def test_retries_counted_and_charged_in_virtual_time(self):
+        clean = SimMPI(nprocs=4).run(_ring_get_program)
+        faulty = SimMPI(nprocs=4, faults=PLAN, retry=RETRY).run(_ring_get_program)
+        assert sum(r for _, _, r, _ in faulty) > 0
+        # Wasted round-trips + backoff make the faulted run slower.
+        assert max(t for _, _, _, t in faulty) > max(t for _, _, _, t in clean)
+
+    def test_deterministic_injection(self):
+        a = SimMPI(nprocs=4, faults=PLAN, retry=RETRY).run(_ring_get_program)
+        b = SimMPI(nprocs=4, faults=PLAN, retry=RETRY).run(_ring_get_program)
+        for (xa, fa, ra, ta), (xb, fb, rb, tb) in zip(a, b):
+            assert np.array_equal(xa, xb)
+            assert (fa, ra, ta) == (fb, rb, tb)
+
+    def test_disabled_retries_surface_error_deterministically(self):
+        outcomes = []
+        for _ in range(2):
+            with pytest.raises(RankFailedError) as ei:
+                SimMPI(
+                    nprocs=4, faults=PLAN, retry=RetryPolicy.disabled()
+                ).run(_ring_get_program)
+            outcomes.append((ei.value.rank, type(ei.value.original)))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][1] in (TransientNetworkError, RMATimeoutError)
+
+    def test_exhausted_attempts_reraise(self):
+        """probability=1 faults can never succeed: the error escapes."""
+        always = FaultPlan.transient_gets(1.0, seed=0)
+        with pytest.raises(RankFailedError) as ei:
+            SimMPI(
+                nprocs=2, faults=always, retry=RetryPolicy(max_attempts=3)
+            ).run(_ring_get_program)
+        assert isinstance(ei.value.original, TransientNetworkError)
+
+
+class TestJitterAndTimeout:
+    def test_jitter_stalls_but_preserves_data(self):
+        plan = FaultPlan.of(
+            FaultRule("jitter", probability=0.5, stall=5e-6), seed=4
+        )
+        clean = SimMPI(nprocs=2).run(_ring_get_program)
+        slow = SimMPI(nprocs=2, faults=plan).run(_ring_get_program)
+        for (a, _, _, ta), (b, f, r, tb) in zip(clean, slow):
+            assert np.array_equal(a, b)
+            assert f == 0 and r == 0  # jitter alone is not a failure
+            assert tb > ta
+
+    def test_stall_past_op_timeout_degenerates_into_retryable_timeout(self):
+        plan = FaultPlan.of(
+            FaultRule("jitter", probability=1.0, stall=1e-3), seed=4
+        )
+        retry = RetryPolicy(max_attempts=2, op_timeout=1e-4)
+        with pytest.raises(RankFailedError) as ei:
+            SimMPI(nprocs=2, faults=plan, retry=retry).run(_ring_get_program)
+        assert isinstance(ei.value.original, RMATimeoutError)
+
+
+class TestObservability:
+    def test_fault_and_retry_events_emitted(self):
+        with obs.capture() as sink:
+            SimMPI(nprocs=4, faults=PLAN, retry=RETRY).run(_ring_get_program)
+        injected = sink.events(kind=obs.FAULT_INJECTED)
+        retries = sink.events(kind=obs.FAULT_RETRY)
+        assert injected and retries
+        ops = {e.attrs["op"] for e in injected}
+        assert "get" in ops
+        for e in retries:
+            assert e.attrs["attempt"] >= 1
+            assert e.attrs["delay"] > 0
+            assert e.attrs["error"] in (
+                "TransientNetworkError",
+                "RMATimeoutError",
+            )
+
+    def test_no_events_without_plan(self):
+        with obs.capture() as sink:
+            SimMPI(nprocs=2).run(_ring_get_program)
+        assert not sink.events(kind=obs.FAULT_INJECTED)
+        assert not sink.events(kind=obs.FAULT_RETRY)
+
+
+class TestCachedWindowCounters:
+    def test_stats_snapshot_carries_fault_counters(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            win = clampi.window_allocate(
+                comm, 512, mode=clampi.Mode.ALWAYS_CACHE
+            )
+            win.local_view(np.float64)[:] = np.arange(64)
+            comm.barrier()
+            peer = (mpi.rank + 1) % mpi.size
+            buf = np.empty(8)
+            with win.lock_all_epoch():
+                for i in range(16):
+                    win.get(buf, peer, (i % 8) * 64)
+                    win.flush(peer)
+            return clampi.stats(win).snapshot()
+
+        snaps = SimMPI(nprocs=4, faults=PLAN, retry=RETRY).run(program)
+        assert all(s["schema_version"] == clampi.SCHEMA_VERSION for s in snaps)
+        assert sum(s["faults_injected"] for s in snaps) > 0
+        assert sum(s["retries"] for s in snaps) > 0

@@ -41,6 +41,32 @@ class TestNetworkModel:
         for d in Distance:
             assert net.injection_time(d, 4096) < net.transfer_time(d, 4096)
 
+    def test_missing_distance_raises_value_error(self):
+        """A custom model with an incomplete table must fail loudly."""
+        net = NetworkModel(
+            latency={Distance.SELF: 90e-9},
+            bandwidth={Distance.SELF: 20e9},
+        )
+        assert net.transfer_time(Distance.SELF, 64) > 0
+        with pytest.raises(ValueError, match="no parameters for"):
+            net.transfer_time(Distance.REMOTE_GROUP, 64)
+        with pytest.raises(ValueError, match="no parameters for"):
+            net.injection_time(Distance.REMOTE_GROUP, 64)
+
+    def test_missing_distance_error_names_covered_classes(self):
+        net = NetworkModel(
+            latency={Distance.SELF: 90e-9},
+            bandwidth={Distance.SELF: 20e9},
+        )
+        with pytest.raises(ValueError, match="SELF"):
+            net.transfer_time(Distance.SAME_NODE, 1)
+
+    @pytest.mark.parametrize("bw", [0.0, -10e9])
+    def test_nonpositive_bandwidth_rejected(self, bw):
+        net = NetworkModel(bandwidth={d: bw for d in Distance})
+        with pytest.raises(ValueError, match="must be > 0"):
+            net.transfer_time(Distance.REMOTE_GROUP, 1024)
+
 
 class TestMemoryModel:
     def test_zero_copy_free(self):
@@ -61,6 +87,16 @@ class TestMemoryModel:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             MemoryModel().copy_time(-5)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        hot = MemoryModel(copy_bandwidth_hot=0.0)
+        with pytest.raises(ValueError, match="copy_bandwidth_hot"):
+            hot.copy_time(1024)
+        cold = MemoryModel(copy_bandwidth_cold=-1.0)
+        with pytest.raises(ValueError, match="copy_bandwidth_cold"):
+            cold.copy_time(1 << 20)
+        # Zero bytes never consults the bandwidth tables.
+        assert hot.copy_time(0) == 0.0
 
 
 class TestPerfModel:

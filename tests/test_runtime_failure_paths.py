@@ -1,0 +1,133 @@
+"""Failure paths of the runtime and MPI layers.
+
+Exercises the error reporting the happy-path suite never touches: original
+tracebacks carried through ``RankFailedError``, deadlocks from partial
+synchronisation, epoch violations surfacing mid-application, and — new with
+the ``join_timeout`` machinery — rank threads that hang outright instead of
+terminating after the run settles.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.mpi import SimMPI, Window
+from repro.mpi.errors import EpochError
+from repro.runtime import DeadlockError, RankFailedError, SimWorld
+
+
+class TestRankFailurePropagation:
+    def test_original_exception_and_traceback_preserved(self):
+        def program(proc):
+            proc.advance(1e-6)
+            if proc.rank == 2:
+                raise KeyError("boom at rank 2")
+            proc.sync()
+
+        with pytest.raises(RankFailedError) as ei:
+            SimWorld(nprocs=4).run(program)
+        err = ei.value
+        assert err.rank == 2
+        assert isinstance(err.original, KeyError)
+        assert err.__cause__ is err.original
+        # The original traceback must point into the rank program.
+        tb = err.original.__traceback__
+        frames = []
+        while tb is not None:
+            frames.append(tb.tb_frame.f_code.co_name)
+            tb = tb.tb_next
+        assert "program" in frames
+
+    def test_epoch_violation_mid_application(self):
+        """An MPI epoch bug in one rank surfaces as that rank's failure."""
+
+        def program(mpi):
+            win = Window.allocate(mpi.comm_world, 256)
+            mpi.comm_world.barrier()
+            buf = np.empty(4)
+            if mpi.rank == 1:
+                # get without any epoch open: an RMA synchronisation bug.
+                win.get(buf, 0, 0)
+            mpi.comm_world.barrier()
+
+        with pytest.raises(RankFailedError) as ei:
+            SimMPI(nprocs=2).run(program)
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.original, EpochError)
+
+
+class TestPartialSyncDeadlock:
+    def test_partial_sync_is_a_deadlock_not_a_hang(self):
+        def program(proc):
+            if proc.rank == 0:
+                return "early"
+            proc.sync()
+
+        with pytest.raises(DeadlockError, match="can never complete"):
+            SimWorld(nprocs=3).run(program)
+
+    def test_mpi_collective_with_missing_rank(self):
+        def program(mpi):
+            if mpi.rank != 0:
+                mpi.comm_world.barrier()
+
+        with pytest.raises(DeadlockError):
+            SimMPI(nprocs=3).run(program)
+
+
+class TestHungThreadDetection:
+    def test_join_timeout_validation(self):
+        with pytest.raises(ValueError):
+            SimWorld(nprocs=1, join_timeout=0.0)
+
+    def test_hung_rank_raises_deadlock_with_rank_state(self):
+        """A rank swallowing the abort and blocking on a real OS primitive
+        must be reported, not silently ignored (the old behaviour)."""
+        release = threading.Event()
+
+        def program(proc):
+            if proc.rank == 0:
+                return "done"
+            try:
+                proc.sync()  # partial sync: the world aborts this rank
+            except BaseException:
+                release.wait()  # swallow the abort and hang for real
+
+        world = SimWorld(nprocs=2, join_timeout=0.5)
+        try:
+            with pytest.raises(DeadlockError) as ei:
+                world.run(program)
+            msg = str(ei.value)
+            assert "did not terminate within 0.5s" in msg
+            assert "rank 1" in msg
+            assert "clock=" in msg
+            # The original scheduler diagnosis is preserved alongside.
+            assert "can never complete" in msg
+        finally:
+            release.set()  # let the daemon thread exit
+
+    def test_recorded_failure_outranks_hung_siblings(self):
+        release = threading.Event()
+
+        def program(proc):
+            if proc.rank == 0:
+                raise ValueError("real failure")
+            try:
+                proc.sync()
+            except BaseException:
+                release.wait()
+
+        world = SimWorld(nprocs=2, join_timeout=0.5)
+        try:
+            with pytest.raises(RankFailedError) as ei:
+                world.run(program)
+            assert ei.value.rank == 0
+            assert isinstance(ei.value.original, ValueError)
+        finally:
+            release.set()
+
+    def test_simmpi_forwards_join_timeout(self):
+        mpi = SimMPI(nprocs=2, join_timeout=0.25)
+        assert mpi.join_timeout == 0.25
+        mpi.run(lambda p: p.comm_world.barrier())  # normal runs unaffected
