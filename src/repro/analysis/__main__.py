@@ -1,0 +1,157 @@
+"""Analysis CLI: lint, offline capture replay, and sanitized app smoke.
+
+Subcommands::
+
+    python -m repro.analysis lint src/            # static repo-invariant lint
+    python -m repro.analysis report capture.jsonl # replay capture, report
+    python -m repro.analysis smoke --strict       # LCC + Barnes-Hut sanitized
+
+``lint`` exits 1 when any finding survives suppression; ``report`` and
+``smoke`` exit 1 when the sanitizer records a violation, so all three wire
+directly into CI.  ``smoke --report PATH`` writes the violations as JSONL
+(one :meth:`repro.analysis.Violation.to_dict` object per line) for upload
+as a build artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import RULES, run_lint
+
+    findings = run_lint(args.paths)
+    for f in findings:
+        print(f.render())
+    if findings:
+        rules = sorted({f.rule for f in findings})
+        print(
+            f"\n{len(findings)} finding(s): "
+            + "; ".join(f"{r} ({RULES[r]})" for r in rules),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint clean ({', '.join(str(p) for p in args.paths)})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import Sanitizer
+    from repro.obs.report import load_events
+
+    try:
+        events = load_events(args.capture)
+    except OSError as exc:
+        print(f"cannot read capture: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"malformed capture {args.capture}: {exc}", file=sys.stderr)
+        return 2
+
+    san = Sanitizer(strict=False)
+    for event in events:
+        san.handle(event)
+    san.finish()
+    print(san.render_report(), end="")
+    return 1 if san.violations else 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    from repro.analysis import sanitize
+    from repro.apps.barnes_hut import BarnesHutApp
+    from repro.apps.cachespec import CacheSpec
+    from repro.apps.lcc import LCCApp
+    from repro.mpi.errors import MPIError
+    from repro.runtime.scheduler import RankFailedError
+
+    spec = CacheSpec.clampi_fixed(256, 64 * 1024)
+    violations = []
+    status = 0
+    for name, run in (
+        (
+            "lcc",
+            lambda: LCCApp(scale=args.scale, edge_factor=8, seed=2).run(
+                nprocs=args.nprocs, spec=spec
+            ),
+        ),
+        (
+            "barnes-hut",
+            lambda: BarnesHutApp(nbodies=args.nbodies, seed=3).run(
+                nprocs=args.nprocs, spec=spec
+            ),
+        ),
+    ):
+        try:
+            with sanitize(strict=args.strict) as san:
+                result = run()
+        except RankFailedError as exc:
+            status = 1
+            origin = exc.original if isinstance(exc.original, MPIError) else exc
+            print(f"{name}: FAILED in strict mode: {origin}", file=sys.stderr)
+        else:
+            ok = not san.violations
+            tally = (
+                "clean"
+                if ok
+                else ", ".join(f"{k}={n}" for k, n in san.counts().items())
+            )
+            print(f"{name}: {tally} (nprocs={args.nprocs})")
+            if not ok:
+                status = 1
+            del result
+        violations.extend(san.violations)
+
+    if status == 0:
+        print("smoke clean: no violations in LCC or Barnes-Hut")
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            for v in violations:
+                fh.write(json.dumps(v.to_dict()) + "\n")
+        print(f"wrote {len(violations)} violation(s) to {args.report}")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="run the static repo-invariant linter")
+    lint.add_argument(
+        "paths", nargs="+", help="files or directories to lint (e.g. src/)"
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    rep = sub.add_parser(
+        "report", help="replay a JSONL capture through the sanitizer"
+    )
+    rep.add_argument("capture", help="path to the JSONL capture file")
+    rep.set_defaults(func=_cmd_report)
+
+    smoke = sub.add_parser(
+        "smoke", help="run LCC and Barnes-Hut under the sanitizer"
+    )
+    smoke.add_argument(
+        "--strict", action="store_true", help="raise at the first violation"
+    )
+    smoke.add_argument(
+        "--report", default=None, help="write violations as JSONL to this path"
+    )
+    smoke.add_argument("--nprocs", type=int, default=4)
+    smoke.add_argument("--scale", type=int, default=7, help="LCC graph scale")
+    smoke.add_argument(
+        "--nbodies", type=int, default=192, help="Barnes-Hut body count"
+    )
+    smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Epoch discipline and completion-order checks.
+
+The window layer already rejects structurally invalid sequences (access
+outside an epoch, mismatched unlock, nested lock_all) with
+:class:`~repro.mpi.errors.EpochError` at the call site.  This tracker
+covers the hazards the window cannot see because they are *semantically*
+wrong while structurally legal:
+
+* **local-buffer hazards** — MPI forbids touching a get's origin buffer
+  before the operation completes (flush/unlock/fence).  The simulator
+  copies payloads at issue time, so such bugs are invisible in results
+  here but corrupt data on real hardware; the tracker flags any RMA op
+  whose origin-buffer bytes overlap an *unflushed* get's destination on
+  the same rank.
+* **epoch leaks** — passive-target epochs still open when the analysis
+  scope ends (a ``lock``/``lock_all`` never paired with its unlock), the
+  classic source of "works under MPICH, hangs under foMPI" reports.
+
+Lock bookkeeping consumes the ``rma.lock``/``rma.unlock`` events; pending
+gets retire on the closure events (flush/unlock/fence/complete), the same
+boundaries the race detector uses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.recorder import OpRecord, Violation, ViolationKind
+from repro.obs.events import Event
+
+
+class EpochTracker:
+    """Per-rank lock state and origin-buffer completion tracking."""
+
+    def __init__(self) -> None:
+        #: (win, rank) -> {"all": opened-at-time | None, "ranks": {target: time}}
+        self._locks: dict[tuple, dict] = {}
+        #: (win, rank) -> gets whose origin buffer is still in flight
+        self._pending_gets: dict[tuple, list[OpRecord]] = {}
+
+    # ------------------------------------------------------------------
+    def on_lock(self, event: Event) -> None:
+        state = self._locks.setdefault(
+            (event.win, event.rank), {"all": None, "ranks": {}}
+        )
+        target = event.attrs.get("target")
+        if target is None:
+            state["all"] = event.time
+        else:
+            state["ranks"][int(target)] = event.time
+
+    def on_close(self, event: Event, targets: set[int] | None, unlock: bool) -> None:
+        """An epoch-closure event: retire pending gets; update lock state."""
+        key = (event.win, event.rank)
+        if unlock:
+            state = self._locks.get(key)
+            if state is not None:
+                if targets is None:
+                    state["all"] = None
+                else:
+                    for t in targets:
+                        state["ranks"].pop(t, None)
+        pending = self._pending_gets.get(key)
+        if pending:
+            self._pending_gets[key] = [
+                g for g in pending if targets is not None and g.target not in targets
+            ]
+
+    # ------------------------------------------------------------------
+    def on_op(self, rec: OpRecord) -> list[Violation]:
+        """Origin-buffer overlap check against this rank's in-flight gets."""
+        violations: list[Violation] = []
+        if rec.origin_lo is not None and rec.origin_hi is not None:
+            for g in self._pending_gets.get((rec.win, rec.origin), []):
+                assert g.origin_lo is not None and g.origin_hi is not None
+                if g.origin_lo < rec.origin_hi and g.origin_hi > rec.origin_lo:
+                    action = (
+                        "overwrites the destination of"
+                        if rec.op == "get"
+                        else "reads the origin buffer of"
+                    )
+                    violations.append(
+                        Violation(
+                            kind=ViolationKind.LOCAL_BUFFER_HAZARD,
+                            message=(
+                                f"{rec.op} by rank {rec.origin} {action} an "
+                                f"incomplete get (no flush since seq {g.seq}); "
+                                "origin buffers are undefined until the "
+                                "operation completes"
+                            ),
+                            rank=rec.origin,
+                            time=rec.time,
+                            win=rec.win,
+                            ops=(g, rec),
+                        )
+                    )
+        if rec.op == "get":
+            self._pending_gets.setdefault((rec.win, rec.origin), []).append(rec)
+        return violations
+
+    # ------------------------------------------------------------------
+    def finish(self) -> list[Violation]:
+        """End-of-scope audit: report epochs never closed."""
+        violations: list[Violation] = []
+        for (win, rank), state in sorted(
+            self._locks.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])
+        ):
+            leaks: list[str] = []
+            if state["all"] is not None:
+                leaks.append("lock_all")
+            leaks.extend(f"lock({t})" for t in sorted(state["ranks"]))
+            if not leaks:
+                continue
+            last = max(
+                [state["all"] or 0.0, *state["ranks"].values()]
+            )
+            violations.append(
+                Violation(
+                    kind=ViolationKind.EPOCH_LEAK,
+                    message=(
+                        f"rank {rank} still holds {', '.join(leaks)} on win "
+                        f"{win} at the end of the analysis scope "
+                        "(missing unlock/unlock_all)"
+                    ),
+                    rank=rank,
+                    time=last,
+                    win=win,
+                )
+            )
+        return violations

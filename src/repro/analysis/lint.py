@@ -1,0 +1,398 @@
+"""Static repo-invariant linter (``python -m repro.analysis lint src/``).
+
+AST-based checks for the project rules the deterministic simulator and the
+telemetry pipeline depend on.  These are *repo* invariants, not style: each
+rule guards a property some subsystem assumes (reproducibility of virtual
+time, resilience of the RMA path, integrity of the event taxonomy).
+
+Rules
+-----
+``ANL001`` **no-wall-clock** — ``time.time``/``monotonic``/``perf_counter``
+    /``process_time`` and ``datetime.now``-style calls are banned inside
+    ``repro.core``, ``repro.mpi`` and ``repro.net``: results there must be
+    functions of the *virtual* clock only, or runs stop being replayable.
+``ANL002`` **seeded-random** — in the same packages every RNG must be
+    seeded explicitly (``random.Random(seed)``, ``default_rng(seed)``);
+    module-level ``random.*``/``np.random.*`` global-state draws are banned.
+``ANL003`` **no-resilience-bypass** — the ``_*_once``/``_inject_*``/
+    ``_resilient`` internals of :class:`repro.mpi.window.Window` implement
+    the retry/fault layer; calling them from outside ``repro.mpi`` skips
+    retry accounting and fault injection and is forbidden.
+``ANL004`` **registered-event-names** — every obs event kind must be a
+    registered constant: emissions may not use unregistered literals or
+    names, raw literals that *are* registered must use the constant, and
+    every constant in ``repro.obs.events`` must be in ``ALL_KINDS``.
+``ANL005`` **no-mutable-default** — mutable default arguments
+    (``[]``/``{}``/``set()`` and friends) anywhere in the tree.
+
+A finding on a given line is suppressed by an ``# analysis: allow(ANLxxx)``
+comment on that line.  ``docs/analysis.md`` documents how to add a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Packages in which ANL001/ANL002 apply (virtual-time-critical hot paths).
+RESTRICTED_PACKAGES = ("core", "mpi", "net")
+
+#: Resilience-layer internals of repro.mpi.window.Window (ANL003).
+RESILIENCE_INTERNALS = frozenset(
+    {
+        "_get_once",
+        "_put_once",
+        "_flush_once",
+        "_flush_all_once",
+        "_unlock_once",
+        "_unlock_all_once",
+        "_inject_op_fault",
+        "_inject_sync_fault",
+        "_resilient",
+    }
+)
+
+_WALL_CLOCK_TIME_FNS = frozenset(
+    {"time", "monotonic", "perf_counter", "process_time"}
+)
+_WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+_ALLOW_RE = re.compile(r"#\s*analysis:\s*allow\(\s*(ANL\d{3})\s*\)")
+
+RULES = {
+    "ANL001": "no wall-clock time sources in repro.core/mpi/net",
+    "ANL002": "RNGs in repro.core/mpi/net must be explicitly seeded",
+    "ANL003": "no calls to Window resilience internals outside repro.mpi",
+    "ANL004": "obs event kinds must be registered constants",
+    "ANL005": "no mutable default arguments",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# event-kind registry
+# ---------------------------------------------------------------------------
+def _parse_registry(events_src: str) -> tuple[dict[str, str], set[str]]:
+    """``{CONSTANT: value}`` and the ALL_KINDS member names from events.py."""
+    tree = ast.parse(events_src)
+    constants: dict[str, str] = {}
+    all_kind_names: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if (
+            target.id.isupper()
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+            and "." in node.value.value
+        ):
+            constants[target.id] = node.value.value
+        if target.id == "ALL_KINDS":
+            for inner in ast.walk(node.value):
+                if isinstance(inner, ast.Name) and inner.id.isupper():
+                    all_kind_names.add(inner.id)
+    return constants, all_kind_names
+
+
+def _load_registry(
+    files: Iterable[Path],
+) -> tuple[dict[str, str], list[Finding]]:
+    """Event-kind registry plus registration-consistency findings.
+
+    Prefers the ``obs/events.py`` inside the linted tree (so the lint run
+    checks exactly what it sees); falls back to importing
+    :mod:`repro.obs.events` when linting a subset that excludes it.
+    """
+    events_file = next(
+        (f for f in files if f.as_posix().endswith("obs/events.py")), None
+    )
+    findings: list[Finding] = []
+    if events_file is not None:
+        constants, registered = _parse_registry(events_file.read_text())
+        for name in sorted(set(constants) - registered):
+            findings.append(
+                Finding(
+                    str(events_file),
+                    1,
+                    "ANL004",
+                    f"event constant {name} = {constants[name]!r} is not "
+                    "registered in ALL_KINDS",
+                )
+            )
+        for name in sorted(registered - set(constants)):
+            findings.append(
+                Finding(
+                    str(events_file),
+                    1,
+                    "ANL004",
+                    f"ALL_KINDS member {name} has no string constant",
+                )
+            )
+        return constants, findings
+    try:
+        from repro.obs import events as ev
+    except ImportError:
+        return {}, findings
+    constants = {
+        n: v
+        for n, v in vars(ev).items()
+        if n.isupper() and isinstance(v, str) and "." in v
+    }
+    constants.pop("ALL_KINDS", None)
+    return constants, findings
+
+
+# ---------------------------------------------------------------------------
+# per-file checks
+# ---------------------------------------------------------------------------
+def _docstring_nodes(tree: ast.Module) -> set[int]:
+    """ids of Constant nodes that are docstrings (exempt from ANL004)."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out
+
+
+def _is_restricted(posix_path: str) -> bool:
+    return any(f"repro/{pkg}/" in posix_path for pkg in RESTRICTED_PACKAGES)
+
+
+def _dotted(node: ast.expr) -> str:
+    """Best-effort dotted name of an attribute chain ('np.random.rand')."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _check_wall_clock(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        head, _, fn = dotted.rpartition(".")
+        if head == "time" and fn in _WALL_CLOCK_TIME_FNS:
+            yield node.lineno, "ANL001", (
+                f"wall-clock call {dotted}() in a virtual-time package; "
+                "charge the simulated clock instead"
+            )
+        elif fn in _WALL_CLOCK_DATETIME_FNS and head.split(".")[0] == "datetime":
+            yield node.lineno, "ANL001", (
+                f"wall-clock call {dotted}() in a virtual-time package"
+            )
+
+
+def _check_seeded_random(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        seeded = bool(node.args or node.keywords)
+        if dotted.startswith("random."):
+            fn = dotted[len("random."):]
+            if fn == "Random":
+                if not seeded:
+                    yield node.lineno, "ANL002", (
+                        "random.Random() without a seed; determinism requires "
+                        "an explicit seed"
+                    )
+            elif "." not in fn:
+                yield node.lineno, "ANL002", (
+                    f"global-state RNG call {dotted}(); use a seeded "
+                    "random.Random instance"
+                )
+        elif dotted in ("np.random.default_rng", "numpy.random.default_rng"):
+            if not seeded:
+                yield node.lineno, "ANL002", (
+                    "default_rng() without a seed; determinism requires an "
+                    "explicit seed"
+                )
+        elif dotted.startswith(("np.random.", "numpy.random.")):
+            yield node.lineno, "ANL002", (
+                f"global-state RNG call {dotted}(); use "
+                "np.random.default_rng(seed)"
+            )
+        elif dotted == "Random" and not seeded:
+            yield node.lineno, "ANL002", "Random() without a seed"
+
+
+def _check_resilience_bypass(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr in RESILIENCE_INTERNALS:
+            yield node.lineno, "ANL003", (
+                f"access to Window resilience internal {node.attr!r} outside "
+                "repro.mpi bypasses the retry/fault layer"
+            )
+
+
+def _event_kind_args(node: ast.Call) -> Iterator[ast.expr]:
+    """Expressions holding an event kind in a call, if any."""
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    if name == "_emit" and node.args:
+        yield node.args[0]
+    elif name == "Event":
+        if node.args:
+            yield node.args[0]
+        for kw in node.keywords:
+            if kw.arg == "kind":
+                yield kw.value
+    elif name == "CallbackSink":
+        for kw in node.keywords:
+            if kw.arg == "kinds" and isinstance(
+                kw.value, (ast.Tuple, ast.List, ast.Set)
+            ):
+                yield from kw.value.elts
+
+
+def _check_event_names(
+    tree: ast.Module, registry: dict[str, str], is_events_module: bool
+) -> Iterator[tuple[int, str, str]]:
+    if not registry or is_events_module:
+        return
+    values = set(registry.values())
+    docstrings = _docstring_nodes(tree)
+    checked: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for arg in _event_kind_args(node):
+            checked.add(id(arg))
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if arg.value not in values:
+                    yield arg.lineno, "ANL004", (
+                        f"emitted event kind {arg.value!r} is not registered "
+                        "in repro.obs.events.ALL_KINDS"
+                    )
+            elif isinstance(arg, ast.Name) and arg.id.isupper():
+                if arg.id not in registry:
+                    yield arg.lineno, "ANL004", (
+                        f"emitted event kind name {arg.id} is not a "
+                        "repro.obs.events constant"
+                    )
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in values
+            and id(node) not in docstrings
+            and id(node) not in checked
+        ):
+            const = next(n for n, v in registry.items() if v == node.value)
+            yield node.lineno, "ANL004", (
+                f"raw event-kind literal {node.value!r}; use the "
+                f"{const} constant"
+            )
+
+
+def _check_mutable_defaults(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for d in defaults:
+            bad = isinstance(d, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(d, ast.Call)
+                and isinstance(d.func, ast.Name)
+                and d.func.id in ("list", "dict", "set", "bytearray")
+            )
+            if bad:
+                yield d.lineno, "ANL005", (
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and build inside the function"
+                )
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(
+                f
+                for f in sorted(path.rglob("*.py"))
+                if "__pycache__" not in f.parts
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def lint_file(
+    path: Path, registry: dict[str, str]
+) -> list[Finding]:
+    """All findings for one source file (suppressions applied)."""
+    src = path.read_text(encoding="utf-8")
+    tree = ast.parse(src, filename=str(path))
+    posix = path.as_posix()
+    lines = src.splitlines()
+
+    raw: list[tuple[int, str, str]] = []
+    if _is_restricted(posix):
+        raw.extend(_check_wall_clock(tree))
+        raw.extend(_check_seeded_random(tree))
+    if "repro/mpi/" not in posix:
+        raw.extend(_check_resilience_bypass(tree))
+    raw.extend(
+        _check_event_names(
+            tree, registry, is_events_module=posix.endswith("obs/events.py")
+        )
+    )
+    raw.extend(_check_mutable_defaults(tree))
+
+    findings = []
+    for line, rule, message in raw:
+        text = lines[line - 1] if 0 < line <= len(lines) else ""
+        m = _ALLOW_RE.search(text)
+        if m and m.group(1) == rule:
+            continue
+        findings.append(Finding(str(path), line, rule, message))
+    return findings
+
+
+def run_lint(paths: Iterable[str | Path]) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    files = _collect_files(paths)
+    registry, findings = _load_registry(files)
+    for f in files:
+        findings.extend(lint_file(f, registry))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

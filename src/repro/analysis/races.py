@@ -1,0 +1,158 @@
+"""Race detection over the observed RMA op stream (MPI-3 semantics).
+
+MPI-3's separate memory model makes *conflicting* accesses to overlapping
+window locations within one exposure epoch erroneous: a put concurrent
+with any get or put, and an accumulate overlapping anything that is not an
+accumulate with the **same** element-wise op (same-op accumulates are the
+one sanctioned form of concurrent conflicting access).  Gets never
+conflict with gets.
+
+An op stays *outstanding* from issue until its origin closes an epoch that
+covers its target — ``flush``/``flush_all``, ``unlock``/``unlock_all``,
+``fence`` or PSCW ``complete``; this mirrors the window layer's own
+epoch-closure events, so the checker and the simulator agree on epoch
+boundaries by construction.  Each new op is overlap-checked against every
+outstanding op on the same ``(window, target)`` before being added.
+
+The CLaMPI-specific stale-read checker rides the same stream: writes
+(put/accumulate) are remembered per ``(window, target)`` range; raw
+network gets refresh a per-reader freshness map; a ``cache.access`` event
+classified as a full/pending hit whose range was written by *another* rank
+after the reader last fetched it is a stale-cache-hit hazard — exactly the
+transparency promise the paper's invalidation rules exist to keep.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.recorder import (
+    IntervalIndex,
+    OpRecord,
+    RangeMap,
+    Violation,
+    ViolationKind,
+)
+from repro.core.stats import AccessType
+from repro.obs.events import Event
+
+#: ``cache.access`` classifications that are served from the cache.
+_CACHE_SERVED = frozenset({AccessType.HIT_FULL.value, AccessType.HIT_PENDING.value})
+
+
+def conflict_kind(a: OpRecord, b: OpRecord) -> ViolationKind | None:
+    """MPI-3 conflict matrix for two overlapping ops in one epoch."""
+    ops = {a.op, b.op}
+    if ops == {"get"}:
+        return None
+    if "accumulate" in ops:
+        if ops == {"accumulate"}:
+            # Same-op accumulates are explicitly permitted (MPI-3 11.7.1).
+            return None if a.acc_op == b.acc_op else ViolationKind.RACE_ACC_MIX
+        return ViolationKind.RACE_ACC_MIX
+    if ops == {"put"}:
+        return ViolationKind.RACE_PUT_PUT
+    return ViolationKind.RACE_PUT_GET
+
+
+class RaceDetector:
+    """Epoch-scoped byte-range conflict and stale-cache-hit detection."""
+
+    def __init__(self) -> None:
+        #: outstanding ops per (win, target): interval index over byte ranges
+        self._outstanding: dict[tuple, IntervalIndex] = {}
+        #: per (win, origin): [(target, index, handle, record)] for retirement
+        self._open_ops: dict[tuple, list] = {}
+        #: write history per (win, target) — never retired (stale detection
+        #: must see writes from *closed* epochs)
+        self._writes: dict[tuple, RangeMap] = {}
+        #: network-fetch freshness per (win, reader, target)
+        self._fetches: dict[tuple, RangeMap] = {}
+
+    # ------------------------------------------------------------------
+    def on_op(self, rec: OpRecord) -> list[Violation]:
+        """Check ``rec`` against outstanding ops, then track it."""
+        key = (rec.win, rec.target)
+        index = self._outstanding.get(key)
+        violations: list[Violation] = []
+        if index is None:
+            index = self._outstanding[key] = IntervalIndex()
+        else:
+            for other in index.overlapping(rec.lo, rec.hi):
+                kind = conflict_kind(other, rec)
+                if kind is None:
+                    continue
+                violations.append(
+                    Violation(
+                        kind=kind,
+                        message=(
+                            f"conflicting {other.op}/{rec.op} overlap on bytes "
+                            f"[{max(rec.lo, other.lo)}, {min(rec.hi, other.hi)}) "
+                            f"of rank {rec.target}'s window within one epoch"
+                        ),
+                        rank=rec.origin,
+                        time=rec.time,
+                        win=rec.win,
+                        ops=(other, rec),
+                    )
+                )
+        handle = index.add(rec.lo, rec.hi, rec)
+        self._open_ops.setdefault((rec.win, rec.origin), []).append(
+            (rec.target, index, handle, rec)
+        )
+        if rec.op == "get":
+            self._fetches.setdefault(
+                (rec.win, rec.origin, rec.target), RangeMap()
+            ).update(rec)
+        else:
+            self._writes.setdefault((rec.win, rec.target), RangeMap()).update(rec)
+        return violations
+
+    def on_close(self, win: int | None, rank: int, targets: set[int] | None) -> None:
+        """Retire ``rank``'s outstanding ops covered by an epoch closure."""
+        open_ops = self._open_ops.get((win, rank))
+        if not open_ops:
+            return
+        kept = []
+        for entry in open_ops:
+            target, index, handle, _rec = entry
+            if targets is None or target in targets:
+                index.remove(handle)
+            else:
+                kept.append(entry)
+        self._open_ops[(win, rank)] = kept
+
+    # ------------------------------------------------------------------
+    def on_cache_access(self, event: Event, seq: int) -> list[Violation]:
+        """Stale-read check for one classified ``cache.access`` event."""
+        attrs = event.attrs
+        if attrs.get("access") not in _CACHE_SERVED or "base" not in attrs:
+            return []
+        reader = event.rank
+        target = int(attrs["target"])
+        lo = int(attrs["base"])
+        hi = lo + int(attrs["nbytes"])
+        writes = self._writes.get((event.win, target))
+        if writes is None:
+            return []
+        fetches = self._fetches.get((event.win, reader, target))
+        fresh = -1
+        if fetches is not None:
+            fresh = max((r.seq for r in fetches.overlapping(lo, hi)), default=-1)
+        violations = []
+        for w in writes.overlapping(lo, hi):
+            if w.origin == reader or w.seq <= fresh:
+                continue
+            violations.append(
+                Violation(
+                    kind=ViolationKind.STALE_CACHE_HIT,
+                    message=(
+                        f"cache hit by rank {reader} on bytes [{lo}, {hi}) of "
+                        f"rank {target}'s window was served after a foreign "
+                        f"write (last fetched from the network at seq {fresh})"
+                    ),
+                    rank=reader,
+                    time=event.time,
+                    win=event.win,
+                    ops=(w,),
+                )
+            )
+        return violations

@@ -1,0 +1,234 @@
+"""Op records, violations and interval indexing for the RMA sanitizer.
+
+The dynamic checker consumes the telemetry stream (``repro.obs``) rather
+than shimming every call site: the MPI window layer already publishes one
+typed event per RMA operation, stamped with the byte footprint at the
+target (``base``/``span``), the local origin-buffer identity
+(``origin``/``onbytes``) and the emitting rank's virtual time.  This
+module turns those events into :class:`OpRecord` values and provides the
+interval machinery — built on the existing :class:`repro.core.avl.AVLTree`
+— that the race and epoch checkers query for byte-range overlap.
+
+Ordering note: the deterministic scheduler serialises rank threads, so
+events arrive in a global total order; ``seq`` numbers that order and is
+what "before/after" means throughout the analysis (virtual clocks are
+per-rank and mutually incomparable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+from repro.core.avl import AVLTree
+from repro.mpi.errors import EpochMisuseError, MPIError, RMARaceError
+from repro.obs.events import RMA_ACCUMULATE, RMA_GET, RMA_PUT, Event
+
+#: Event kind -> short op name used in records and reports.
+_OP_NAMES = {RMA_GET: "get", RMA_PUT: "put", RMA_ACCUMULATE: "accumulate"}
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One observed RMA operation, reduced to what the checkers need."""
+
+    seq: int              #: global arrival index (total order, see module doc)
+    op: str               #: "get" | "put" | "accumulate"
+    origin: int           #: issuing rank
+    target: int           #: target rank
+    win: int | None       #: window id
+    lo: int               #: first byte touched in the target window
+    hi: int               #: one past the last byte touched
+    epoch: int            #: origin's w.eph at issue
+    time: float           #: origin's virtual time at issue
+    acc_op: str | None = None       #: accumulate element-wise op
+    origin_lo: int | None = None    #: local origin buffer address range
+    origin_hi: int | None = None
+
+    def describe(self) -> str:
+        acc = f"({self.acc_op}) " if self.acc_op else ""
+        return (
+            f"{self.op} {acc}by rank {self.origin} -> rank {self.target} "
+            f"bytes [{self.lo}, {self.hi}) of win {self.win} "
+            f"(seq {self.seq}, epoch {self.epoch}, t={self.time:.3e}s)"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        d = {
+            "seq": self.seq,
+            "op": self.op,
+            "origin": self.origin,
+            "target": self.target,
+            "win": self.win,
+            "lo": self.lo,
+            "hi": self.hi,
+            "epoch": self.epoch,
+            "time": self.time,
+        }
+        if self.acc_op is not None:
+            d["acc_op"] = self.acc_op
+        return d
+
+
+def op_record(event: Event, seq: int) -> OpRecord | None:
+    """Build an :class:`OpRecord` from an RMA op event.
+
+    Returns ``None`` for events lacking the byte-footprint attributes
+    (captures taken before the attributes existed stay loadable — they are
+    simply not analysable).
+    """
+    attrs = event.attrs
+    if "base" not in attrs or "span" not in attrs:
+        return None
+    lo = int(attrs["base"])
+    origin_lo = attrs.get("origin")
+    return OpRecord(
+        seq=seq,
+        op=_OP_NAMES[event.kind],
+        origin=event.rank,
+        target=int(attrs["target"]),
+        win=event.win,
+        lo=lo,
+        hi=lo + int(attrs["span"]),
+        epoch=event.epoch,
+        time=event.time,
+        acc_op=attrs.get("op"),
+        origin_lo=int(origin_lo) if origin_lo is not None else None,
+        origin_hi=(
+            int(origin_lo) + int(attrs.get("onbytes", 0))
+            if origin_lo is not None
+            else None
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# violations
+# ---------------------------------------------------------------------------
+class ViolationKind(Enum):
+    """Taxonomy of detectable hazards (see ``docs/analysis.md``)."""
+
+    RACE_PUT_GET = "race.put-get"          #: put/get overlap in one epoch
+    RACE_PUT_PUT = "race.put-put"          #: put/put overlap in one epoch
+    RACE_ACC_MIX = "race.acc-mix"          #: accumulate vs other-op overlap
+    STALE_CACHE_HIT = "stale.cache-hit"    #: hit served past a foreign put
+    LOCAL_BUFFER_HAZARD = "epoch.local-buffer"  #: origin reuse before flush
+    EPOCH_LEAK = "epoch.leak"              #: epoch still open at finish
+
+
+#: Which kinds raise :class:`RMARaceError` (the rest raise
+#: :class:`EpochMisuseError`) in strict mode.
+_RACE_KINDS = frozenset(
+    {
+        ViolationKind.RACE_PUT_GET,
+        ViolationKind.RACE_PUT_PUT,
+        ViolationKind.RACE_ACC_MIX,
+        ViolationKind.STALE_CACHE_HIT,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected hazard, carrying the conflicting op records."""
+
+    kind: ViolationKind
+    message: str
+    rank: int                 #: rank at whose call site it was detected
+    time: float               #: that rank's virtual time
+    win: int | None = None
+    ops: tuple[OpRecord, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        lines = [f"[{self.kind.value}] {self.message}"]
+        lines.extend(f"  - {op.describe()}" for op in self.ops)
+        return "\n".join(lines)
+
+    def error(self) -> MPIError:
+        """The strict-mode exception for this violation."""
+        cls = RMARaceError if self.kind in _RACE_KINDS else EpochMisuseError
+        return cls(self.describe())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "message": self.message,
+            "rank": self.rank,
+            "time": self.time,
+            "win": self.win,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+
+# ---------------------------------------------------------------------------
+# interval indexing (paper-infrastructure reuse: the storage AVL tree)
+# ---------------------------------------------------------------------------
+class IntervalIndex:
+    """Byte intervals with O(log N + k) overlap queries.
+
+    Backed by the size-keyed AVL tree of the storage allocator, re-keyed as
+    ``(lo, insertion_id)`` so duplicate starts stay unique.  The query
+    widens its left bound by the longest interval ever inserted — the
+    standard trick that turns a start-keyed BST into an overlap index
+    without node augmentation.
+    """
+
+    def __init__(self) -> None:
+        self._tree = AVLTree()
+        self._next_id = 0
+        self._max_len = 0
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def add(self, lo: int, hi: int, value: Any) -> tuple[int, int]:
+        """Insert ``[lo, hi) -> value``; returns a handle for :meth:`remove`."""
+        if hi < lo:
+            raise ValueError(f"inverted interval [{lo}, {hi})")
+        key = (lo, self._next_id)
+        self._next_id += 1
+        self._tree.insert(key, (hi, value))
+        self._max_len = max(self._max_len, hi - lo)
+        return key
+
+    def remove(self, handle: tuple[int, int]) -> None:
+        self._tree.remove(handle)
+
+    def overlapping(self, lo: int, hi: int) -> list[Any]:
+        """Values of all intervals intersecting ``[lo, hi)``."""
+        if hi <= lo:
+            return []
+        out = []
+        start = (lo - self._max_len, -1)
+        for key, (ihi, value) in self._tree.range_items(start, (hi, -1)):
+            if key[0] < hi and ihi > lo:
+                out.append(value)
+        return out
+
+    def items(self) -> Iterator[Any]:
+        for _key, (_hi, value) in self._tree.items():
+            yield value
+
+
+class RangeMap:
+    """Latest record per exact byte range, with overlap queries.
+
+    Used for the write-history and fetch-freshness maps of the stale-read
+    checker: repeated accesses to the same range (the common case — hot
+    adjacency lists, tree nodes) update one slot instead of growing the
+    index, so memory is bounded by the number of *distinct* ranges.
+    """
+
+    def __init__(self) -> None:
+        self._index = IntervalIndex()
+        self._latest: dict[tuple[int, int], OpRecord] = {}
+
+    def update(self, rec: OpRecord) -> None:
+        key = (rec.lo, rec.hi)
+        if key not in self._latest:
+            self._index.add(rec.lo, rec.hi, key)
+        self._latest[key] = rec
+
+    def overlapping(self, lo: int, hi: int) -> list[OpRecord]:
+        return [self._latest[k] for k in self._index.overlapping(lo, hi)]

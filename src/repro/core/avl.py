@@ -204,6 +204,26 @@ class AVLTree:
 
         yield from rec(self._root)
 
+    def range_items(self, lo: Key, hi: Key) -> Iterator[tuple[Key, Any]]:
+        """In-order iteration over keys in ``[lo, hi)``.
+
+        Subtrees entirely outside the bound are pruned, so the scan costs
+        O(log N + k) for k yielded items — what the interval-overlap
+        queries of :mod:`repro.analysis` need.
+        """
+
+        def rec(node: _Node | None) -> Iterator[tuple[Key, Any]]:
+            if node is None:
+                return
+            if node.key > lo:
+                yield from rec(node.left)
+            if lo <= node.key < hi:
+                yield node.key, node.value
+            if node.key < hi:
+                yield from rec(node.right)
+
+        yield from rec(self._root)
+
     # -- invariants, used by the property-based tests -------------------
     def check_invariants(self) -> None:
         """Raise AssertionError if the tree is unbalanced or mis-ordered."""

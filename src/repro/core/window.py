@@ -387,6 +387,7 @@ class CachedWindow:
             target=target_rank,
             disp=target_disp,
             nbytes=size,
+            base=target_disp * self._win._group.disp_units[target_rank],
         )
 
     def get_blocking(

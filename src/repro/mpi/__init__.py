@@ -36,8 +36,10 @@ from repro.mpi.datatypes import (
 )
 from repro.mpi.errors import (
     EpochError,
+    EpochMisuseError,
     FaultError,
     MPIError,
+    RMARaceError,
     RMATimeoutError,
     StorageFault,
     TransientNetworkError,
@@ -52,6 +54,7 @@ __all__ = [
     "Contiguous",
     "Datatype",
     "EpochError",
+    "EpochMisuseError",
     "FLOAT32",
     "FaultError",
     "FLOAT64",
@@ -63,6 +66,7 @@ __all__ = [
     "MPIError",
     "MPIProcess",
     "Predefined",
+    "RMARaceError",
     "RMATimeoutError",
     "ReduceOp",
     "Request",

@@ -19,6 +19,27 @@ class DatatypeError(MPIError):
     """Malformed datatype construction or use."""
 
 
+class RMARaceError(MPIError):
+    """Conflicting RMA accesses detected by the dynamic sanitizer.
+
+    Raised in :class:`repro.analysis.Sanitizer` *strict* mode at the call
+    site of the second of two conflicting operations (put/get, put/put or
+    mixed-op accumulate byte-range overlap within one exposure epoch, or a
+    cache hit served after a foreign put invalidated the range).  The
+    message carries both conflicting op records.
+    """
+
+
+class EpochMisuseError(EpochError):
+    """Epoch/completion discipline violation detected by the sanitizer.
+
+    Raised in strict mode for hazards the window layer itself cannot see:
+    reuse of a local origin buffer before the get that fills it completed
+    (flush), and access epochs still open when the analysis scope closes
+    (epoch leaks).
+    """
+
+
 class FaultError(MPIError):
     """Base class for failures raised by the fault-injection subsystem.
 

@@ -61,6 +61,19 @@ from repro.obs import (
 LOCK_SHARED = "shared"
 LOCK_EXCLUSIVE = "exclusive"
 
+
+def _origin_attrs(origin_bytes: np.ndarray, nbytes: int) -> dict[str, int]:
+    """Identity of the local origin buffer region an op reads/writes.
+
+    ``origin`` is the buffer's host address, ``onbytes`` the bytes used —
+    enough for the :mod:`repro.analysis` sanitizer to catch reuse of an
+    origin buffer before the get that fills it completed.
+    """
+    return {
+        "origin": int(origin_bytes.__array_interface__["data"][0]),
+        "onbytes": nbytes,
+    }
+
 #: Fixed CPU cost of a flush/unlock synchronisation call.
 SYNC_OVERHEAD = 50e-9
 
@@ -285,7 +298,10 @@ class Window:
         """Complete outstanding ops to ``rank`` and close its epoch."""
         self._check_alive()
         if rank not in self._locked:
-            raise EpochError(f"unlock({rank}) without a matching lock")
+            raise EpochError(
+                f"unlock({rank}): rank {rank} is not locked by rank "
+                f"{self._comm.rank} ({self._epoch_state()})"
+            )
         if self._faults is None:
             self._unlock_once(rank)
         else:
@@ -306,7 +322,10 @@ class Window:
         """Complete all outstanding ops and close the lock_all epoch."""
         self._check_alive()
         if not self._locked_all:
-            raise EpochError("unlock_all without lock_all")
+            raise EpochError(
+                f"unlock_all on rank {self._comm.rank} without a lock_all "
+                f"epoch ({self._epoch_state()})"
+            )
         if self._faults is None:
             self._unlock_all_once()
         else:
@@ -453,9 +472,20 @@ class Window:
         self._check_alive()
         if not self._access_group:
             raise EpochError("complete without a matching start")
+        t0 = self._comm.proc.clock
         self._complete(None)
         group = self._access_group
         self._access_group = set()
+        if self._obs.enabled:
+            # Completion is an epoch-closure event like flush; telemetry
+            # consumers (the repro.analysis sanitizer in particular) rely
+            # on seeing it to retire this origin's outstanding ops.
+            self._emit(
+                RMA_FLUSH,
+                duration=self._comm.proc.clock - t0,
+                target=None,
+                pscw=True,
+            )
         self._close_epoch(set(group))
 
     def post(self, group: set[int] | list[int]) -> None:
@@ -547,7 +577,12 @@ class Window:
         self._post(target_rank, nbytes)
         if self._obs.enabled:
             self._emit(
-                RMA_GET, target=target_rank, disp=target_disp, nbytes=nbytes
+                RMA_GET,
+                target=target_rank,
+                disp=target_disp,
+                nbytes=nbytes,
+                **self._span_attrs(target_rank, target_disp, count, datatype),
+                **_origin_attrs(origin_bytes, nbytes),
             )
         return nbytes
 
@@ -591,7 +626,12 @@ class Window:
         self._post(target_rank, nbytes)
         if self._obs.enabled:
             self._emit(
-                RMA_PUT, target=target_rank, disp=target_disp, nbytes=nbytes
+                RMA_PUT,
+                target=target_rank,
+                disp=target_disp,
+                nbytes=nbytes,
+                **self._span_attrs(target_rank, target_disp, count, datatype),
+                **_origin_attrs(origin_bytes, nbytes),
             )
         return nbytes
 
@@ -686,6 +726,9 @@ class Window:
                 disp=target_disp,
                 nbytes=nbytes,
                 op=op,
+                base=base,
+                span=nbytes,
+                **_origin_attrs(obuf, nbytes),
             )
         return nbytes
 
@@ -711,6 +754,24 @@ class Window:
         if not origin.flags["C_CONTIGUOUS"]:
             raise WindowError("origin buffer must be C-contiguous")
         return origin.view(np.uint8).reshape(-1)
+
+    def _span_attrs(
+        self, target_rank: int, target_disp: int, count: int, datatype: Datatype
+    ) -> dict[str, int]:
+        """Byte footprint of an op at the target, for telemetry consumers.
+
+        ``base`` is the first byte touched in the target window, ``span``
+        the exact extent of the flattened datatype — what the
+        :mod:`repro.analysis` sanitizer uses for interval-overlap checks
+        (touching-but-disjoint ranges must not be conflated).  Only built
+        on the obs-enabled path.
+        """
+        blocks = datatype.flatten(count)
+        span = blocks[-1][0] + blocks[-1][1] if blocks else 0
+        return {
+            "base": target_disp * self._group.disp_units[target_rank],
+            "span": span,
+        }
 
     def _access(
         self,
@@ -907,6 +968,20 @@ class Window:
         for hook in self._epoch_close_hooks:
             hook(self, targets)
         self.eph += 1
+
+    def _epoch_state(self) -> str:
+        """Human-readable summary of this rank's current epoch state."""
+        parts = []
+        if self._locked_all:
+            parts.append("lock_all held")
+        if self._locked:
+            parts.append(f"locked ranks {sorted(self._locked)}")
+        if self._access_group:
+            parts.append(f"PSCW access group {sorted(self._access_group)}")
+        if self._fence_active:
+            parts.append("inside a fence epoch")
+        state = ", ".join(parts) if parts else "no epoch open"
+        return f"epoch state: {state}; {self.eph} epochs concluded"
 
     def _require_epoch(self, rank: int, what: str) -> None:
         if not (

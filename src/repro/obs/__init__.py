@@ -37,6 +37,7 @@ from typing import Iterator
 from repro.obs.bus import EventBus
 from repro.obs.events import (
     ALL_KINDS,
+    ANALYSIS_VIOLATION,
     CACHE_ACCESS,
     CACHE_ADAPT,
     CACHE_DEGRADED,
@@ -61,6 +62,7 @@ from repro.obs.sinks import CallbackSink, JSONLSink, NullSink, RingBufferSink, S
 
 __all__ = [
     "ALL_KINDS",
+    "ANALYSIS_VIOLATION",
     "CACHE_ACCESS",
     "CACHE_ADAPT",
     "CACHE_DEGRADED",

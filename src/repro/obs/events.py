@@ -45,9 +45,11 @@ CACHE_DEGRADED = "cache.degraded"    #: the cache quarantined / re-enabled itsel
 TRACE_GET = "trace.get"              #: a TracingWindow recorded a get
 FAULT_INJECTED = "fault.injected"    #: the fault injector fired at a site
 FAULT_RETRY = "fault.retry"          #: a faulted RMA op was retried (backoff)
+ANALYSIS_VIOLATION = "analysis.violation"  #: the RMA sanitizer found a hazard
 
 ALL_KINDS = frozenset(
     {
+        ANALYSIS_VIOLATION,
         RMA_GET,
         RMA_PUT,
         RMA_ACCUMULATE,

@@ -32,6 +32,7 @@ from repro.core.stats import AccessType
 from repro.obs.events import (
     CACHE_ACCESS,
     CACHE_EPOCH,
+    NET_TRANSFER,
     SCHED_SWITCH,
     Event,
 )
@@ -145,7 +146,7 @@ def summarize(events: list[Event]) -> dict[int, dict[str, float]]:
         nbytes = sum(
             int(e.attrs.get("nbytes", 0))
             for e in mine
-            if e.kind == CACHE_ACCESS or e.kind == "net.transfer"
+            if e.kind == CACHE_ACCESS or e.kind == NET_TRANSFER
         )
         out[r] = {
             "events": len(mine),

@@ -1,0 +1,184 @@
+"""Deliberately buggy RMA fixtures: the sanitizer must catch each one.
+
+Each program runs on the real simulator (SimMPI + windows + CLaMPI) and
+contains one seeded MPI-usage bug; the tests assert the sanitizer reports
+the *right* violation kind and, where conflicting ops are involved, the
+right op pair.  The strict-mode test checks the error surfaces at the
+violating call site as a typed exception carried by RankFailedError.
+"""
+
+import numpy as np
+import pytest
+
+from repro import clampi
+from repro.analysis import ViolationKind, sanitize
+from repro.mpi import RMARaceError, SimMPI
+from repro.runtime import RankFailedError
+
+
+def run(nprocs, program, **kwargs):
+    mpi = SimMPI(nprocs=nprocs, **kwargs)
+    return mpi.run(program)
+
+
+# ---------------------------------------------------------------------------
+# fixture programs (each seeds exactly one bug)
+# ---------------------------------------------------------------------------
+def put_get_race_program(m):
+    """BUG: rank 0's unflushed put races rank 1's get on rank 2's window."""
+    from repro.mpi import Window
+
+    win = Window.allocate(m.comm_world, 256)
+    m.comm_world.barrier()
+    win.lock_all()
+    if m.rank == 0:
+        win.put(np.full(64, 7, np.uint8), 2, 0)      # bytes [0, 64), no flush
+    m.comm_world.barrier()
+    if m.rank == 1:
+        out = np.empty(64, np.uint8)
+        win.get(out, 2, 32)                          # bytes [32, 96): overlap
+    m.comm_world.barrier()
+    win.unlock_all()
+
+
+def missing_flush_program(m):
+    """BUG: rank 0 reuses a get's destination buffer before flushing."""
+    from repro.mpi import Window
+
+    win = Window.allocate(m.comm_world, 256)
+    m.comm_world.barrier()
+    win.lock_all()
+    if m.rank == 0:
+        buf = np.empty(64, np.uint8)
+        win.get(buf, 1, 0)
+        win.put(buf, 1, 64)                          # reads undefined bytes
+        win.flush_all()
+    m.comm_world.barrier()
+    win.unlock_all()
+
+
+def leaky_epoch_program(m):
+    """BUG: rank 0 locks rank 1 and returns without unlocking."""
+    from repro.mpi import Window
+
+    win = Window.allocate(m.comm_world, 64)
+    m.comm_world.barrier()
+    if m.rank == 0:
+        win.lock(1)
+    return m.rank
+
+
+def stale_cache_program(m):
+    """BUG: rank 1's put to rank 2 invalidates nothing on rank 0's cache."""
+    win = clampi.window_allocate(
+        m.comm_world, 4096, mode=clampi.Mode.ALWAYS_CACHE
+    )
+    win.local_view(np.uint8)[:] = m.rank
+    m.comm_world.barrier()
+    with win.lock_all_epoch():
+        buf = np.empty(256, np.uint8)
+        if m.rank == 0:
+            win.get_blocking(buf, 2, 0)              # miss: fills the cache
+        m.comm_world.barrier()
+        if m.rank == 1:
+            win.put(np.full(256, 99, np.uint8), 2, 0)
+            win.flush(2)
+        m.comm_world.barrier()
+        if m.rank == 0:
+            win.get_blocking(buf, 2, 0)              # full hit: stale bytes
+    return int(buf[0]) if m.rank == 0 else None
+
+
+# ---------------------------------------------------------------------------
+# report mode: right kind, right op pair
+# ---------------------------------------------------------------------------
+class TestReportMode:
+    def test_put_get_race_detected(self):
+        with sanitize() as san:
+            run(3, put_get_race_program)
+        races = [
+            v for v in san.violations if v.kind is ViolationKind.RACE_PUT_GET
+        ]
+        assert len(races) == 1
+        a, b = races[0].ops
+        assert (a.op, a.origin) == ("put", 0)
+        assert (b.op, b.origin) == ("get", 1)
+        assert a.target == b.target == 2
+        # the reported overlap is the put/get intersection on rank 2's window
+        assert (max(a.lo, b.lo), min(a.hi, b.hi)) == (32, 64)
+
+    def test_missing_flush_detected(self):
+        with sanitize() as san:
+            run(2, missing_flush_program)
+        hazards = [
+            v
+            for v in san.violations
+            if v.kind is ViolationKind.LOCAL_BUFFER_HAZARD
+        ]
+        assert len(hazards) == 1
+        g, p = hazards[0].ops
+        assert (g.op, p.op) == ("get", "put")
+        assert hazards[0].rank == 0
+
+    def test_leaked_epoch_detected(self):
+        with sanitize() as san:
+            run(2, leaky_epoch_program)
+        assert [v.kind for v in san.violations] == [ViolationKind.EPOCH_LEAK]
+        assert "rank 0" in san.violations[0].message
+        assert "lock(1)" in san.violations[0].message
+
+    def test_stale_cache_hit_detected(self):
+        with sanitize() as san:
+            results = run(3, stale_cache_program)
+        stale = [
+            v
+            for v in san.violations
+            if v.kind is ViolationKind.STALE_CACHE_HIT
+        ]
+        assert len(stale) == 1
+        assert stale[0].rank == 0
+        (w,) = stale[0].ops
+        assert w.op == "put" and w.origin == 1
+        # ... and the hit really did serve stale data (old contents of rank 2)
+        assert results[0] == 2
+
+
+# ---------------------------------------------------------------------------
+# strict mode: typed raise at the violating call site
+# ---------------------------------------------------------------------------
+class TestStrictMode:
+    def test_race_raises_at_call_site(self):
+        with pytest.raises(RankFailedError) as exc:
+            with sanitize(strict=True):
+                run(3, put_get_race_program)
+        original = exc.value.original
+        assert isinstance(original, RMARaceError)
+        # the message carries both conflicting op records
+        assert "put" in str(original) and "get" in str(original)
+        assert "rank 0" in str(original) and "rank 1" in str(original)
+
+    def test_failing_rank_is_the_violating_one(self):
+        with pytest.raises(RankFailedError) as exc:
+            with sanitize(strict=True):
+                run(3, put_get_race_program)
+        assert exc.value.rank == 1  # the get is the second, detecting op
+
+    def test_clean_program_passes_strict(self):
+        def clean(m):
+            from repro.mpi import Window
+
+            win = Window.allocate(m.comm_world, 256)
+            m.comm_world.barrier()
+            win.lock_all()
+            if m.rank == 0:
+                win.put(np.full(64, 7, np.uint8), 1, 0)
+                win.flush(1)
+            m.comm_world.barrier()
+            if m.rank == 2:
+                out = np.empty(64, np.uint8)
+                win.get(out, 1, 0)
+            win.unlock_all()
+
+        with sanitize(strict=True) as san:
+            run(3, clean)
+        assert san.violations == []

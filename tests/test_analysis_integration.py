@@ -1,0 +1,124 @@
+"""End-to-end analysis runs: real apps under strict mode + the CLI.
+
+The headline acceptance check of the analyzer: the paper's two
+applications (LCC and Barnes-Hut) run with CLaMPI caching under
+``sanitize(strict=True)`` without a single violation — their
+get/flush/epoch discipline is exactly what the sanitizer models.  Also
+covers the offline ``report`` subcommand over a JSONL capture and the
+``smoke`` subcommand wired into CI.
+"""
+
+import json
+
+from repro.analysis import sanitize
+from repro.analysis.__main__ import main
+from repro.apps.barnes_hut import BarnesHutApp
+from repro.apps.cachespec import CacheSpec
+from repro.apps.lcc import LCCApp
+from repro.obs.events import RMA_FLUSH, RMA_GET, RMA_PUT, Event
+
+
+def spec():
+    return CacheSpec.clampi_fixed(256, 64 * 1024)
+
+
+class TestAppsCleanUnderStrict:
+    def test_lcc_is_violation_free(self):
+        app = LCCApp(scale=5, edge_factor=8, seed=2)
+        with sanitize(strict=True) as san:
+            result = app.run(nprocs=4, spec=spec())
+        assert san.violations == []
+        assert san._seq > 100  # the sanitizer really saw the op stream
+        assert result.lcc.shape == (app.nvertices,)
+
+    def test_barnes_hut_is_violation_free(self):
+        app = BarnesHutApp(nbodies=64, seed=3)
+        with sanitize(strict=True) as san:
+            result = app.run(nprocs=4, spec=spec())
+        assert san.violations == []
+        assert san._seq > 100
+        assert result.forces.shape == (64, 3)
+
+
+class TestReportCLI:
+    def _write_capture(self, path, events):
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in events:
+                fh.write(e.to_json() + "\n")
+
+    def test_racy_capture_reported(self, tmp_path, capsys):
+        cap = tmp_path / "racy.jsonl"
+        self._write_capture(
+            cap,
+            [
+                Event(
+                    RMA_PUT, 0, 0.0, 0, 1,
+                    attrs={"target": 2, "base": 0, "span": 64, "nbytes": 64},
+                ),
+                Event(
+                    RMA_GET, 1, 0.0, 0, 1,
+                    attrs={"target": 2, "base": 32, "span": 64, "nbytes": 64},
+                ),
+            ],
+        )
+        assert main(["report", str(cap)]) == 1
+        out = capsys.readouterr().out
+        assert "race.put-get" in out and "1 violation" in out
+
+    def test_clean_capture_reports_zero(self, tmp_path, capsys):
+        cap = tmp_path / "clean.jsonl"
+        self._write_capture(
+            cap,
+            [
+                Event(
+                    RMA_PUT, 0, 0.0, 0, 1,
+                    attrs={"target": 2, "base": 0, "span": 64, "nbytes": 64},
+                ),
+                Event(RMA_FLUSH, 0, 0.0, 0, 1, attrs={"target": 2}),
+                Event(
+                    RMA_GET, 1, 0.0, 0, 1,
+                    attrs={"target": 2, "base": 32, "span": 64, "nbytes": 64},
+                ),
+            ],
+        )
+        assert main(["report", str(cap)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_missing_capture_is_an_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestSmokeCLI:
+    def test_small_strict_smoke_is_clean(self, tmp_path, capsys):
+        report = tmp_path / "violations.jsonl"
+        code = main(
+            [
+                "smoke", "--strict", "--nprocs", "2",
+                "--scale", "4", "--nbodies", "32",
+                "--report", str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lcc: clean" in out and "barnes-hut: clean" in out
+        assert report.read_text() == ""  # artifact exists, holds no violations
+
+    def test_violations_serialise_to_jsonl(self, tmp_path):
+        # The artifact format: one Violation.to_dict object per line.
+        from repro.analysis import Sanitizer
+        from repro.obs.events import RMA_GET as G, RMA_PUT as P
+
+        san = Sanitizer()
+        san.handle(
+            Event(P, 0, 0.0, 0, 1,
+                  attrs={"target": 2, "base": 0, "span": 64, "nbytes": 64})
+        )
+        san.handle(
+            Event(G, 1, 0.0, 0, 1,
+                  attrs={"target": 2, "base": 0, "span": 64, "nbytes": 64})
+        )
+        line = json.dumps(san.violations[0].to_dict())
+        back = json.loads(line)
+        assert back["kind"] == "race.put-get"
+        assert [op["op"] for op in back["ops"]] == ["put", "get"]

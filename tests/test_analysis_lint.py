@@ -1,0 +1,247 @@
+"""Tests for the static repo-invariant linter (repro.analysis.lint).
+
+Each rule is exercised on a bad snippet written to a tmp tree shaped like
+the real package layout (path-scoped rules key off ``repro/<pkg>/``), the
+suppression comment is checked per-rule, and the real tree must lint
+clean — that last test is the repo invariant itself.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, run_lint
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def lint_snippet(tmp_path, relpath, code):
+    f = tmp_path / relpath
+    f.parent.mkdir(parents=True, exist_ok=True)
+    f.write_text(textwrap.dedent(code))
+    return run_lint([tmp_path])
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_core(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            """
+            import time
+            def f():
+                return time.time()
+            """,
+        )
+        assert rules_of(findings) == ["ANL001"]
+        assert findings[0].line == 4
+
+    def test_monotonic_flagged_in_net(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/net/x.py",
+            "import time\nt = time.monotonic()\n",
+        )
+        assert rules_of(findings) == ["ANL001"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/mpi/x.py",
+            "import datetime\nd = datetime.datetime.now()\n",
+        )
+        assert rules_of(findings) == ["ANL001"]
+
+    def test_wall_clock_allowed_outside_restricted_packages(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/bench/x.py",
+            "import time\nt = time.perf_counter()\n",
+        )
+        assert findings == []
+
+
+class TestSeededRandom:
+    def test_module_level_random_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/core/x.py", "import random\nx = random.random()\n"
+        )
+        assert rules_of(findings) == ["ANL002"]
+
+    def test_seeded_random_instance_ok(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            "import random\nrng = random.Random(42)\nx = rng.random()\n",
+        )
+        assert findings == []
+
+    def test_unseeded_random_instance_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/core/x.py", "import random\nrng = random.Random()\n"
+        )
+        assert rules_of(findings) == ["ANL002"]
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/net/x.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert rules_of(findings) == ["ANL002"]
+
+    def test_seeded_default_rng_ok(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/net/x.py",
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+        )
+        assert findings == []
+
+    def test_np_global_state_flagged_even_with_args(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            "import numpy as np\nx = np.random.rand(3)\n",
+        )
+        assert rules_of(findings) == ["ANL002"]
+
+
+class TestResilienceBypass:
+    def test_internal_call_flagged_outside_mpi(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/x.py",
+            "def f(win):\n    return win._put_once(0, 1, 2)\n",
+        )
+        assert rules_of(findings) == ["ANL003"]
+        assert "_put_once" in findings[0].message
+
+    def test_internal_call_allowed_inside_mpi(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/mpi/x.py",
+            "def f(win):\n    return win._put_once(0, 1, 2)\n",
+        )
+        assert findings == []
+
+
+class TestEventRegistry:
+    def test_unregistered_literal_emission_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/x.py",
+            "def f(bus):\n    bus._emit('rma.bogus', 0)\n",
+        )
+        assert rules_of(findings) == ["ANL004"]
+
+    def test_unregistered_constant_name_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/x.py",
+            "def f(bus):\n    bus._emit(RMA_BOGUS, 0)\n",
+        )
+        assert rules_of(findings) == ["ANL004"]
+
+    def test_registered_constant_name_ok(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/x.py",
+            "from repro.obs import RMA_GET\n"
+            "def f(bus):\n    bus._emit(RMA_GET, 0)\n",
+        )
+        assert findings == []
+
+    def test_raw_literal_of_registered_kind_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/apps/x.py", "KIND = 'rma.get'\n"
+        )
+        assert rules_of(findings) == ["ANL004"]
+        assert "RMA_GET" in findings[0].message
+
+    def test_docstrings_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/apps/x.py", '"""About rma.get events."""\n'
+        )
+        assert findings == []
+
+    def test_events_module_consistency_checked(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/obs/events.py",
+            """
+            ORPHAN = "x.orphan"
+            ALL_KINDS = frozenset({})
+            """,
+        )
+        assert rules_of(findings) == ["ANL004"]
+        assert "ORPHAN" in findings[0].message
+
+
+class TestMutableDefaults:
+    def test_list_default_flagged_anywhere(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/bench/x.py", "def f(x=[]):\n    return x\n"
+        )
+        assert rules_of(findings) == ["ANL005"]
+
+    def test_dict_call_default_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/bench/x.py", "def f(*, x=dict()):\n    return x\n"
+        )
+        assert rules_of(findings) == ["ANL005"]
+
+    def test_none_default_ok(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "repro/bench/x.py", "def f(x=None, y=()):\n    return x, y\n"
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses_matching_rule(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            "import time\nt = time.time()  # analysis: allow(ANL001)\n",
+        )
+        assert findings == []
+
+    def test_allow_comment_is_rule_specific(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            "import time\nt = time.time()  # analysis: allow(ANL005)\n",
+        )
+        assert rules_of(findings) == ["ANL001"]
+
+
+class TestDriver:
+    def test_every_rule_has_a_description(self):
+        assert set(RULES) == {"ANL001", "ANL002", "ANL003", "ANL004", "ANL005"}
+
+    def test_findings_sorted_and_rendered(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            "import time\ndef f(x={}):\n    return time.time()\n",
+        )
+        assert [f.rule for f in findings] == ["ANL005", "ANL001"]  # line order
+        assert findings[0].render().endswith(findings[0].message)
+        assert ":2: ANL005" in findings[0].render()
+
+    def test_real_tree_lints_clean(self):
+        assert run_lint([SRC]) == []
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        (tmp_path / "bad.py").write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "ANL005" in capsys.readouterr().out
+        assert main(["lint", str(SRC)]) == 0

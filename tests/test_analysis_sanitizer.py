@@ -1,0 +1,370 @@
+"""Unit tests for the dynamic RMA sanitizer (synthetic event streams).
+
+Drives :class:`repro.analysis.Sanitizer` directly with hand-built obs
+events — no simulator — to pin down the conflict matrix, epoch-closure
+retirement, interval-overlap precision (touching-but-disjoint ranges must
+NOT conflict), the local-buffer completion rule, stale-cache-hit
+detection, epoch-leak auditing and strict-mode raising.
+"""
+
+import pytest
+
+from repro.analysis import Sanitizer, ViolationKind, sanitize
+from repro.analysis.recorder import IntervalIndex, RangeMap, op_record
+from repro.mpi import EpochMisuseError, RMARaceError
+from repro.obs import EventBus, RingBufferSink
+from repro.obs.events import (
+    ANALYSIS_VIOLATION,
+    CACHE_ACCESS,
+    RMA_ACCUMULATE,
+    RMA_FENCE,
+    RMA_FLUSH,
+    RMA_GET,
+    RMA_LOCK,
+    RMA_PUT,
+    RMA_UNLOCK,
+    Event,
+)
+
+W = 7  # window id used throughout
+
+
+def rma(kind, rank, target, lo, hi, *, t=0.0, epoch=0, op=None, obuf=None):
+    """A synthetic RMA op event mirroring the window layer's attrs."""
+    attrs = {"target": target, "base": lo, "span": hi - lo, "nbytes": hi - lo}
+    if op is not None:
+        attrs["op"] = op
+    if obuf is not None:
+        attrs["origin"] = obuf
+        attrs["onbytes"] = hi - lo
+    return Event(kind, rank, t, epoch, W, attrs=attrs)
+
+
+def closure(kind, rank, target=None):
+    return Event(kind, rank, 0.0, 0, W, attrs={"target": target})
+
+
+def lock(rank, target=None):
+    return Event(
+        RMA_LOCK, rank, 0.0, 0, W, attrs={"target": target, "lock_type": "shared"}
+    )
+
+
+def cache_hit(rank, target, lo, hi, access="hit_full"):
+    return Event(
+        CACHE_ACCESS,
+        rank,
+        0.0,
+        0,
+        W,
+        attrs={"access": access, "target": target, "nbytes": hi - lo, "base": lo},
+    )
+
+
+def feed(*events, strict=False):
+    san = Sanitizer(strict=strict)
+    for e in events:
+        san.handle(e)
+    return san
+
+
+# ---------------------------------------------------------------------------
+# conflict matrix
+# ---------------------------------------------------------------------------
+class TestConflicts:
+    def test_put_get_overlap_is_race(self):
+        san = feed(
+            rma(RMA_PUT, 0, 2, 0, 64),
+            rma(RMA_GET, 1, 2, 32, 96),
+        )
+        assert [v.kind for v in san.violations] == [ViolationKind.RACE_PUT_GET]
+        a, b = san.violations[0].ops
+        assert (a.op, b.op) == ("put", "get")
+        assert (a.origin, b.origin) == (0, 1)
+
+    def test_put_put_overlap_is_race(self):
+        san = feed(rma(RMA_PUT, 0, 2, 0, 64), rma(RMA_PUT, 1, 2, 0, 64))
+        assert [v.kind for v in san.violations] == [ViolationKind.RACE_PUT_PUT]
+
+    def test_get_get_overlap_is_fine(self):
+        san = feed(rma(RMA_GET, 0, 2, 0, 64), rma(RMA_GET, 1, 2, 0, 64))
+        assert san.violations == []
+
+    def test_touching_but_disjoint_is_fine(self):
+        san = feed(rma(RMA_PUT, 0, 2, 0, 8), rma(RMA_GET, 1, 2, 8, 16))
+        assert san.violations == []
+
+    def test_same_op_accumulates_are_exempt(self):
+        san = feed(
+            rma(RMA_ACCUMULATE, 0, 2, 0, 64, op="sum"),
+            rma(RMA_ACCUMULATE, 1, 2, 0, 64, op="sum"),
+        )
+        assert san.violations == []
+
+    def test_mixed_op_accumulates_conflict(self):
+        san = feed(
+            rma(RMA_ACCUMULATE, 0, 2, 0, 64, op="sum"),
+            rma(RMA_ACCUMULATE, 1, 2, 0, 64, op="max"),
+        )
+        assert [v.kind for v in san.violations] == [ViolationKind.RACE_ACC_MIX]
+
+    def test_accumulate_vs_put_conflicts(self):
+        san = feed(
+            rma(RMA_ACCUMULATE, 0, 2, 0, 64, op="sum"),
+            rma(RMA_PUT, 1, 2, 32, 40),
+        )
+        assert [v.kind for v in san.violations] == [ViolationKind.RACE_ACC_MIX]
+
+    def test_different_targets_never_conflict(self):
+        san = feed(rma(RMA_PUT, 0, 2, 0, 64), rma(RMA_PUT, 1, 3, 0, 64))
+        assert san.violations == []
+
+
+# ---------------------------------------------------------------------------
+# epoch-closure retirement
+# ---------------------------------------------------------------------------
+class TestRetirement:
+    def test_flush_retires_before_next_op(self):
+        san = feed(
+            rma(RMA_PUT, 0, 2, 0, 64),
+            closure(RMA_FLUSH, 0, target=2),
+            rma(RMA_GET, 1, 2, 0, 64),
+        )
+        assert san.violations == []
+
+    def test_targeted_flush_keeps_other_targets_outstanding(self):
+        san = feed(
+            rma(RMA_PUT, 0, 2, 0, 64),
+            closure(RMA_FLUSH, 0, target=3),  # wrong target: 2 still open
+            rma(RMA_GET, 1, 2, 0, 64),
+        )
+        assert [v.kind for v in san.violations] == [ViolationKind.RACE_PUT_GET]
+
+    def test_flush_all_retires_everything(self):
+        san = feed(
+            rma(RMA_PUT, 0, 2, 0, 64),
+            rma(RMA_PUT, 0, 3, 0, 64),
+            closure(RMA_FLUSH, 0, target=None),
+            rma(RMA_GET, 1, 2, 0, 64),
+            rma(RMA_GET, 1, 3, 0, 64),
+        )
+        assert san.violations == []
+
+    def test_other_ranks_flush_does_not_retire(self):
+        san = feed(
+            rma(RMA_PUT, 0, 2, 0, 64),
+            closure(RMA_FLUSH, 1, target=None),  # rank 1's flush, not rank 0's
+            rma(RMA_GET, 1, 2, 0, 64),
+        )
+        assert [v.kind for v in san.violations] == [ViolationKind.RACE_PUT_GET]
+
+    def test_fence_retires(self):
+        san = feed(
+            rma(RMA_PUT, 0, 2, 0, 64),
+            Event(RMA_FENCE, 0, 0.0, 0, W),
+            rma(RMA_GET, 1, 2, 0, 64),
+        )
+        assert san.violations == []
+
+
+# ---------------------------------------------------------------------------
+# local-buffer completion rule
+# ---------------------------------------------------------------------------
+class TestLocalBuffer:
+    def test_reusing_get_destination_before_flush(self):
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 64, obuf=1000),
+            rma(RMA_PUT, 0, 3, 0, 64, obuf=1000),  # reads undefined bytes
+        )
+        kinds = [v.kind for v in san.violations]
+        assert ViolationKind.LOCAL_BUFFER_HAZARD in kinds
+
+    def test_flush_completes_the_get(self):
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 64, obuf=1000),
+            closure(RMA_FLUSH, 0, target=None),
+            rma(RMA_PUT, 0, 3, 0, 64, obuf=1000),
+        )
+        assert san.violations == []
+
+    def test_disjoint_buffers_are_fine(self):
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 64, obuf=1000),
+            rma(RMA_PUT, 0, 3, 0, 64, obuf=2000),
+        )
+        assert san.violations == []
+
+    def test_other_ranks_buffers_do_not_alias(self):
+        # Same virtual address on a different rank is a different buffer.
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 64, obuf=1000),
+            rma(RMA_PUT, 1, 3, 0, 64, obuf=1000),
+        )
+        assert san.violations == []
+
+
+# ---------------------------------------------------------------------------
+# stale cache hits
+# ---------------------------------------------------------------------------
+class TestStaleCacheHit:
+    def test_hit_after_foreign_put_is_stale(self):
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 256),           # rank 0 fetches (fills cache)
+            closure(RMA_FLUSH, 0, target=2),
+            rma(RMA_PUT, 1, 2, 0, 256),           # rank 1 overwrites the range
+            closure(RMA_FLUSH, 1, target=2),
+            cache_hit(0, 2, 0, 256),              # rank 0 hit: stale!
+        )
+        assert [v.kind for v in san.violations] == [ViolationKind.STALE_CACHE_HIT]
+        (w,) = san.violations[0].ops
+        assert w.op == "put" and w.origin == 1
+
+    def test_hit_refetched_after_write_is_fresh(self):
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 256),
+            closure(RMA_FLUSH, 0, target=2),
+            rma(RMA_PUT, 1, 2, 0, 256),
+            closure(RMA_FLUSH, 1, target=2),
+            rma(RMA_GET, 0, 2, 0, 256),           # re-fetch after the write
+            closure(RMA_FLUSH, 0, target=2),
+            cache_hit(0, 2, 0, 256),
+        )
+        assert san.violations == []
+
+    def test_own_writes_are_not_stale(self):
+        # CLaMPI invalidates on local puts; a hit after one's own put on a
+        # disjoint code path is the writer's own coherence domain.
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 256),
+            closure(RMA_FLUSH, 0, target=2),
+            rma(RMA_PUT, 0, 2, 0, 256),
+            closure(RMA_FLUSH, 0, target=2),
+            cache_hit(0, 2, 0, 256),
+        )
+        assert san.violations == []
+
+    def test_miss_classifications_are_ignored(self):
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 256),
+            closure(RMA_FLUSH, 0, target=2),
+            rma(RMA_PUT, 1, 2, 0, 256),
+            closure(RMA_FLUSH, 1, target=2),
+            cache_hit(0, 2, 0, 256, access="direct"),
+        )
+        assert san.violations == []
+
+    def test_disjoint_write_is_fine(self):
+        san = feed(
+            rma(RMA_GET, 0, 2, 0, 128),
+            closure(RMA_FLUSH, 0, target=2),
+            rma(RMA_PUT, 1, 2, 128, 256),
+            closure(RMA_FLUSH, 1, target=2),
+            cache_hit(0, 2, 0, 128),
+        )
+        assert san.violations == []
+
+
+# ---------------------------------------------------------------------------
+# epoch leaks + strict mode
+# ---------------------------------------------------------------------------
+class TestEpochsAndStrict:
+    def test_leaked_lock_reported_at_finish(self):
+        san = feed(lock(0, target=2))
+        assert san.violations == []
+        leaks = san.finish()
+        assert [v.kind for v in leaks] == [ViolationKind.EPOCH_LEAK]
+        assert "lock(2)" in leaks[0].message and "rank 0" in leaks[0].message
+
+    def test_unlocked_lock_is_clean(self):
+        san = feed(lock(0, target=2), closure(RMA_UNLOCK, 0, target=2))
+        assert san.finish() == []
+
+    def test_leaked_lock_all_reported(self):
+        san = feed(lock(0, target=None))
+        assert "lock_all" in san.finish()[0].message
+
+    def test_finish_is_idempotent(self):
+        san = feed(lock(0, target=2))
+        assert len(san.finish()) == 1
+        assert len(san.finish()) == 1
+
+    def test_strict_raises_race_at_call_site(self):
+        san = Sanitizer(strict=True)
+        san.handle(rma(RMA_PUT, 0, 2, 0, 64))
+        with pytest.raises(RMARaceError) as exc:
+            san.handle(rma(RMA_GET, 1, 2, 0, 64))
+        assert "put" in str(exc.value) and "get" in str(exc.value)
+
+    def test_strict_raises_epoch_misuse_for_leak(self):
+        bus = EventBus()
+        with pytest.raises(EpochMisuseError):
+            with sanitize(strict=True, bus=bus):
+                bus.emit(lock(0, target=2))
+
+    def test_violation_events_published_to_bus(self):
+        bus = EventBus()
+        ring = RingBufferSink(capacity=64)
+        bus.attach(ring)
+        with sanitize(bus=bus) as san:
+            bus.emit(rma(RMA_PUT, 0, 2, 0, 64))
+            bus.emit(rma(RMA_GET, 1, 2, 0, 64))
+        assert len(san.violations) == 1
+        published = [e for e in ring.events() if e.kind == ANALYSIS_VIOLATION]
+        assert len(published) == 1
+        assert published[0].attrs["kind"] == "race.put-get"
+        assert len(published[0].attrs["ops"]) == 2
+
+    def test_report_rendering(self):
+        san = feed(rma(RMA_PUT, 0, 2, 0, 64), rma(RMA_GET, 1, 2, 0, 64))
+        text = san.render_report()
+        assert "race.put-get" in text and "1 violation" in text
+        assert san.counts() == {"race.put-get": 1}
+
+    def test_events_without_footprint_are_skipped(self):
+        # Captures from before the base/span attrs existed stay loadable.
+        old = Event(RMA_PUT, 0, 0.0, 0, W, attrs={"target": 2, "nbytes": 64})
+        assert op_record(old, 1) is None
+        san = feed(old, rma(RMA_GET, 1, 2, 0, 64))
+        assert san.violations == []
+
+
+# ---------------------------------------------------------------------------
+# interval machinery
+# ---------------------------------------------------------------------------
+class TestIntervalIndex:
+    def test_overlap_query(self):
+        idx = IntervalIndex()
+        idx.add(0, 10, "a")
+        idx.add(10, 20, "b")
+        idx.add(5, 15, "c")
+        assert sorted(idx.overlapping(8, 12)) == ["a", "b", "c"]
+        assert sorted(idx.overlapping(0, 5)) == ["a"]
+        assert idx.overlapping(20, 30) == []
+        assert idx.overlapping(5, 5) == []
+
+    def test_remove_by_handle(self):
+        idx = IntervalIndex()
+        h = idx.add(0, 10, "a")
+        idx.add(0, 10, "b")  # duplicate range, distinct handle
+        idx.remove(h)
+        assert idx.overlapping(0, 10) == ["b"]
+        assert len(idx) == 1
+
+    def test_long_interval_found_from_far_left(self):
+        idx = IntervalIndex()
+        idx.add(0, 1000, "long")
+        idx.add(990, 995, "short")
+        assert "long" in idx.overlapping(998, 999)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalIndex().add(10, 0, "x")
+
+    def test_range_map_keeps_latest(self):
+        m = RangeMap()
+        a = op_record(rma(RMA_PUT, 0, 2, 0, 64), 1)
+        b = op_record(rma(RMA_PUT, 1, 2, 0, 64), 2)
+        m.update(a)
+        m.update(b)
+        hits = m.overlapping(0, 64)
+        assert len(hits) == 1 and hits[0].seq == 2

@@ -125,6 +125,38 @@ class TestEpochRules:
         with pytest.raises(RankFailedError):
             run(1, program)
 
+    def test_unlock_wrong_rank_message_names_rank_and_state(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 8)
+            win.lock(1)
+            try:
+                win.unlock(0)
+            except EpochError as exc:
+                msg = str(exc)
+            else:
+                msg = "no error"
+            win.unlock(1)
+            return msg
+
+        results, _ = run(2, program)
+        assert "unlock(0)" in results[0]
+        assert "not locked by rank 0" in results[0]
+        assert "locked ranks [1]" in results[0]
+
+    def test_unlock_all_without_lock_all_message(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 8)
+            try:
+                win.unlock_all()
+            except EpochError as exc:
+                return str(exc)
+            return "no error"
+
+        results, _ = run(2, program)
+        assert "unlock_all on rank 0" in results[0]
+        assert "unlock_all on rank 1" in results[1]
+        assert "no epoch open" in results[0]
+
     def test_flush_outside_epoch_rejected(self):
         def program(m):
             win = Window.allocate(m.comm_world, 8)
