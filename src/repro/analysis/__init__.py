@@ -45,16 +45,24 @@ from typing import Iterator
 from repro.analysis.epochs import EpochTracker
 from repro.analysis.lint import Finding, run_lint
 from repro.analysis.races import RaceDetector
-from repro.analysis.recorder import OpRecord, Violation, ViolationKind, op_record
+from repro.analysis.recorder import (
+    OpRecord,
+    Violation,
+    ViolationKind,
+    batch_op_record,
+    op_record,
+)
 from repro.obs import get_bus
 from repro.obs.bus import EventBus
 from repro.obs.events import (
     ANALYSIS_VIOLATION,
     CACHE_ACCESS,
+    CACHE_ACCESS_BATCH,
     RMA_ACCUMULATE,
     RMA_FENCE,
     RMA_FLUSH,
     RMA_GET,
+    RMA_GET_BATCH,
     RMA_LOCK,
     RMA_PUT,
     RMA_UNLOCK,
@@ -119,6 +127,28 @@ class Sanitizer(Sink):
             self._epochs.on_lock(event)
         elif kind == CACHE_ACCESS:
             found.extend(self._races.on_cache_access(event, self._seq))
+        elif kind == RMA_GET_BATCH:
+            # Batched gets suppress per-op events; the batch entry carries
+            # one footprint per element, analysed like N scalar gets.
+            for op_attrs in event.attrs.get("ops", ()):
+                rec = batch_op_record(event, op_attrs, self._seq)
+                if rec is None:
+                    continue
+                found.extend(self._epochs.on_op(rec))
+                found.extend(self._races.on_op(rec))
+                self._seq += 1
+        elif kind == CACHE_ACCESS_BATCH:
+            for op_attrs in event.attrs.get("ops", ()):
+                sub = Event(
+                    CACHE_ACCESS,
+                    event.rank,
+                    event.time,
+                    epoch=event.epoch,
+                    win=event.win,
+                    attrs=op_attrs,
+                )
+                found.extend(self._races.on_cache_access(sub, self._seq))
+                self._seq += 1
         if found:
             self._record(found)
 

@@ -24,6 +24,13 @@ Rules
     every constant in ``repro.obs.events`` must be in ``ALL_KINDS``.
 ``ANL005`` **no-mutable-default** — mutable default arguments
     (``[]``/``{}``/``set()`` and friends) anywhere in the tree.
+``ANL006`` **pipeline-purity** — the RMA op entry points of
+    :class:`repro.mpi.window.Window` and
+    :class:`repro.core.window.CachedWindow` (``get``/``put``/``flush``/…)
+    must describe + issue through the :mod:`repro.rma` pipeline only: no
+    inlined cost, fault, retry or telemetry logic (``self.cost``,
+    ``self._faults``, ``self._emit`` and friends) in their bodies.  Each
+    cross-cutting concern lives in exactly one interceptor/stage.
 
 A finding on a given line is suppressed by an ``# analysis: allow(ANLxxx)``
 comment on that line.  ``docs/analysis.md`` documents how to add a rule.
@@ -55,6 +62,51 @@ RESILIENCE_INTERNALS = frozenset(
     }
 )
 
+#: RMA op entry points whose bodies must stay pipeline-only (ANL006).
+PIPELINE_OP_METHODS = frozenset(
+    {
+        "get",
+        "put",
+        "accumulate",
+        "rget",
+        "rput",
+        "get_batch",
+        "get_blocking",
+        "flush",
+        "flush_all",
+        "unlock",
+        "unlock_all",
+        "fence",
+        "lock",
+        "lock_all",
+        "complete",
+    }
+)
+
+#: Cross-cutting concern attributes owned by the repro.rma pipeline (ANL006):
+#: accessing them from an op method re-inlines a concern an interceptor or
+#: cache stage already owns.
+PIPELINE_CONCERNS = frozenset(
+    {
+        "_emit",
+        "_emit_access",
+        "_obs",
+        "obs",
+        "_faults",
+        "_retry",
+        "_resilient",
+        "_inject_op_fault",
+        "_inject_sync_fault",
+        "_post",
+        "cost",
+        "_sync_fault_counters",
+        "_maybe_adapt",
+    }
+)
+
+#: Classes whose op methods ANL006 applies to.
+_PIPELINE_CLASSES = frozenset({"Window", "CachedWindow"})
+
 _WALL_CLOCK_TIME_FNS = frozenset(
     {"time", "monotonic", "perf_counter", "process_time"}
 )
@@ -68,6 +120,7 @@ RULES = {
     "ANL003": "no calls to Window resilience internals outside repro.mpi",
     "ANL004": "obs event kinds must be registered constants",
     "ANL005": "no mutable default arguments",
+    "ANL006": "Window/CachedWindow op methods must not inline pipeline concerns",
 }
 
 
@@ -318,6 +371,29 @@ def _check_event_names(
             )
 
 
+def _check_pipeline_purity(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef) or cls.name not in _PIPELINE_CLASSES:
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name not in PIPELINE_OP_METHODS:
+                continue
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in PIPELINE_CONCERNS
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    yield node.lineno, "ANL006", (
+                        f"op method {cls.name}.{fn.name}() touches "
+                        f"{node.attr!r}; that concern belongs to a repro.rma "
+                        "interceptor/stage — describe + issue only"
+                    )
+
+
 def _check_mutable_defaults(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
     for node in ast.walk(tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -376,6 +452,7 @@ def lint_file(
             tree, registry, is_events_module=posix.endswith("obs/events.py")
         )
     )
+    raw.extend(_check_pipeline_purity(tree))
     raw.extend(_check_mutable_defaults(tree))
 
     findings = []

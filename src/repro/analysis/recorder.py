@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
 from repro.core.avl import AVLTree
 from repro.mpi.errors import EpochMisuseError, MPIError, RMARaceError
@@ -97,6 +97,39 @@ def op_record(event: Event, seq: int) -> OpRecord | None:
         origin_lo=int(origin_lo) if origin_lo is not None else None,
         origin_hi=(
             int(origin_lo) + int(attrs.get("onbytes", 0))
+            if origin_lo is not None
+            else None
+        ),
+    )
+
+
+def batch_op_record(
+    event: Event, op_attrs: Mapping[str, Any], seq: int
+) -> OpRecord | None:
+    """Build the :class:`OpRecord` of one element of an ``rma.get_batch``.
+
+    A batch event carries one footprint dict per element under
+    ``attrs["ops"]`` — the same keys a scalar ``rma.get`` stamps — so the
+    checkers analyse a batch exactly like N scalar gets issued at the
+    batch's (rank, virtual time, epoch).
+    """
+    if "base" not in op_attrs or "span" not in op_attrs:
+        return None
+    lo = int(op_attrs["base"])
+    origin_lo = op_attrs.get("origin")
+    return OpRecord(
+        seq=seq,
+        op="get",
+        origin=event.rank,
+        target=int(op_attrs["target"]),
+        win=event.win,
+        lo=lo,
+        hi=lo + int(op_attrs["span"]),
+        epoch=event.epoch,
+        time=event.time,
+        origin_lo=int(origin_lo) if origin_lo is not None else None,
+        origin_hi=(
+            int(origin_lo) + int(op_attrs.get("onbytes", 0))
             if origin_lo is not None
             else None
         ),

@@ -91,8 +91,15 @@ class BFSApp:
         spec: CacheSpec | None = None,
         trace: bool = False,
         perf: PerfModel | None = None,
+        batch: bool = False,
     ) -> BFSRunResult:
-        """Run BFS from every source in sequence on ``nprocs`` ranks."""
+        """Run BFS from every source in sequence on ``nprocs`` ranks.
+
+        ``batch=True`` prefetches each level's remote-owned discoveries
+        through one ``get_batch`` + one flush per distinct owner instead
+        of a serial get+flush per vertex.  Distances are identical;
+        virtual times differ (transfers overlap).
+        """
         spec = spec or CacheSpec.fompi()
         for s in sources:
             if not 0 <= s < self.nvertices:
@@ -100,7 +107,7 @@ class BFSApp:
         src, dst = self._edges
         mpi = SimMPI(nprocs=nprocs, perf=perf or PerfModel.spread(nprocs))
         results = mpi.run(
-            _bfs_rank_program, self.csr, src, dst, list(sources), spec, trace
+            _bfs_rank_program, self.csr, src, dst, list(sources), spec, trace, batch
         )
         distances = results[0][0]  # replicated result, identical on all ranks
         rank_times = [r[1] for r in results]
@@ -123,6 +130,7 @@ def _bfs_rank_program(
     sources: list[int],
     spec: CacheSpec,
     trace: bool,
+    batch: bool = False,
 ):
     recorder = TraceRecorder() if trace else None
     graph = DistributedGraph.build(
@@ -168,15 +176,23 @@ def _bfs_rank_program(
             # (the one-sided traffic): fetch it now so the owner-side expand
             # is accounted — this is the get stream CLaMPI caches.
             next_frontier = []
+            remote_fetches: list[int] = []
             for u in discovered:
                 if graph.lo <= u < graph.hi:
                     next_frontier.append(u)
                 else:
                     deg = graph.degree(u)
                     if deg:
+                        if batch:
+                            remote_fetches.append(u)
+                            continue
                         buf = np.empty(deg, np.int64)
                         owner, _ = graph.fetch_adjacency(u, buf)
                         win.flush(owner)
+            if remote_fetches:
+                # Frontier expansion, batched: one get_batch for the whole
+                # level's remote discoveries, one flush per distinct owner.
+                graph.fetch_adjacencies(remote_fetches)
             # level-synchronous exchange of discoveries
             gathered = comm.allgather(
                 [(u, int(dist[u])) for u in discovered], nbytes=8 * len(discovered)

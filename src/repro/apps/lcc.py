@@ -104,12 +104,19 @@ class LCCApp:
         perf: PerfModel | None = None,
         faults=None,
         retry=None,
+        batch: bool = False,
     ) -> LCCRunResult:
         """Execute the distributed LCC computation on ``nprocs`` ranks.
 
         ``faults`` (a :class:`repro.faults.FaultPlan`) and ``retry`` (a
         :class:`repro.faults.RetryPolicy`) are forwarded to the simulated
         MPI world for chaos runs; the result must stay bit-identical.
+
+        ``batch=True`` fetches each vertex's neighbour lists through one
+        ``get_batch`` + one flush per distinct owner instead of the
+        paper's serial get+flush-per-neighbour pattern.  LCC values are
+        identical; virtual times differ (transfers overlap), so the
+        figure reproductions keep the default.
         """
         spec = spec or CacheSpec.fompi()
         src, dst = self._edges
@@ -119,7 +126,7 @@ class LCCApp:
             faults=faults,
             retry=retry,
         )
-        results = mpi.run(_lcc_rank_program, self.csr, src, dst, spec, trace)
+        results = mpi.run(_lcc_rank_program, self.csr, src, dst, spec, trace, batch)
 
         lcc = np.zeros(self.nvertices)
         rank_times: list[float] = []
@@ -153,6 +160,7 @@ def _lcc_rank_program(
     dst: np.ndarray,
     spec: CacheSpec,
     trace: bool,
+    batch: bool = False,
 ):
     recorder = TraceRecorder() if trace else None
     graph = DistributedGraph.build(
@@ -176,18 +184,23 @@ def _lcc_rank_program(
         mpi.compute(VERTEX_OVERHEAD_TIME)
         if deg < 2:
             continue
-        # Retrieve every neighbour's adjacency.  The traversal is the
-        # natural latency-bound pattern of the paper's LCC: each remote
+        # Retrieve every neighbour's adjacency.  The serial traversal is
+        # the natural latency-bound pattern of the paper's LCC: each remote
         # adjacency list is needed before the merge step that consumes it,
-        # so the get is completed (flushed) as soon as it is issued.
-        bufs: list[np.ndarray] = []
-        for u in adj_v:
-            du = graph.degree(int(u))
-            buf = np.empty(du, dtype=np.int64)
-            owner, _ = graph.fetch_adjacency(int(u), buf)
-            if owner != mpi.rank:
-                win.flush(owner)
-            bufs.append(buf)
+        # so the get is completed (flushed) as soon as it is issued.  The
+        # batched variant issues the whole neighbourhood through one
+        # get_batch and flushes each owner once, overlapping the misses.
+        if batch:
+            bufs = graph.fetch_adjacencies(adj_v)
+        else:
+            bufs = []
+            for u in adj_v:
+                du = graph.degree(int(u))
+                buf = np.empty(du, dtype=np.int64)
+                owner, _ = graph.fetch_adjacency(int(u), buf)
+                if owner != mpi.rank:
+                    win.flush(owner)
+                bufs.append(buf)
         # Triangle counting over the fetched lists.
         links = 0
         steps = 0

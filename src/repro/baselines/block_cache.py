@@ -187,6 +187,16 @@ class BlockCachedWindow:
         self.flush(target_rank)
         return n
 
+    def get_batch(self, requests) -> list[int]:
+        """Element-wise batch: block granularity already amortises fetches.
+
+        The block cache's whole point is that misses fetch aligned blocks
+        (blocking, so a block is reusable immediately); there is nothing
+        further to pipeline, and serving elements in order keeps its stats
+        and eviction behaviour identical to scalar gets.
+        """
+        return [self.get(*req) for req in requests]
+
     # ------------------------------------------------------------------
     def _slot(self, target: int, blk: int) -> int:
         # Direct mapping: a cheap multiplicative hash of (target, block).

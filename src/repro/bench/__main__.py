@@ -4,6 +4,10 @@ With no arguments all paper figures run in order and the rendered tables
 are printed; pass figure ids (e.g. ``fig07 fig12``) or ablation ids (e.g.
 ``a1_cuckoo_hashes``) to run a subset, or ``ablations`` for all ablations.
 Use ``--markdown`` to emit the EXPERIMENTS.md-style blocks instead.
+
+``python -m repro.bench perfsmoke`` runs the perf smoke subset instead
+(see :mod:`repro.bench.perfsmoke`): wall/virtual times to a JSON artifact,
+optionally checked against a committed baseline.
 """
 
 from __future__ import annotations
@@ -21,6 +25,12 @@ _ALL = {**ALL_FIGURES, **ALL_ABLATIONS}
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "perfsmoke":
+        from repro.bench.perfsmoke import main as perfsmoke_main
+
+        return perfsmoke_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
     )

@@ -1,0 +1,143 @@
+"""Perf smoke benchmark: ``python -m repro.bench perfsmoke``.
+
+Runs a small, representative figure subset (fig01 latency, fig03 size
+distribution, fig15 LCC at reduced scale) plus a serial-vs-batched LCC
+pair, and writes one JSON artifact recording wall-clock and virtual time
+per entry.  The artifact seeds the repo's performance trajectory: CI runs
+this against the committed baseline (``BENCH_PR4.json``) and fails when
+total wall-clock regresses beyond the allowed factor.
+
+Wall time measures *host* effort (what the pipeline refactor, targeted
+scheduler wakeups and batched gets optimise); virtual time measures the
+simulated schedule (which the refactor must NOT change — figure claims
+and goldens pin that separately).  fig15 claims are intentionally not
+asserted here: at the reduced smoke scale some paper claims do not hold
+(they require the default figure scale), and this harness only watches
+performance.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import obs
+from repro.apps import LCCApp
+from repro.apps.cachespec import CacheSpec
+from repro.bench.figures import fig01_latency, fig03_sizes, fig15_lcc_params
+
+#: Wall-clock regression factor CI tolerates over the committed baseline.
+DEFAULT_MAX_REGRESSION = 2.0
+
+#: Reduced LCC scale: keeps the smoke subset within a CI-friendly budget.
+SMOKE_LCC_SCALE = 10
+
+
+def _lcc_pair() -> dict[str, dict[str, float]]:
+    """Serial vs batched LCC on one CLaMPI config (the batching headline)."""
+    app = LCCApp(scale=9, edge_factor=8, seed=5)
+    spec = CacheSpec.clampi_fixed(2 * (1 << 9), app.csr.nedges * 8)
+    out: dict[str, dict[str, float]] = {}
+    for label, batch in (("lcc_serial", False), ("lcc_batched", True)):
+        v0 = obs.virtual_time.total
+        t0 = time.perf_counter()
+        app.run(8, spec, batch=batch)
+        out[label] = {
+            "wall_s": round(time.perf_counter() - t0, 4),
+            "virtual_s": obs.virtual_time.total - v0,
+        }
+    return out
+
+
+def run_perfsmoke() -> dict[str, Any]:
+    """Run the subset; returns the artifact dict (not yet written)."""
+    entries: list[tuple[str, Callable[[], Any]]] = [
+        ("fig01", fig01_latency),
+        ("fig03", fig03_sizes),
+        ("fig15", lambda: fig15_lcc_params(scale=SMOKE_LCC_SCALE)),
+    ]
+    figures: dict[str, dict[str, float]] = {}
+    for name, fn in entries:
+        v0 = obs.virtual_time.total
+        t0 = time.perf_counter()
+        fn()
+        figures[name] = {
+            "wall_s": round(time.perf_counter() - t0, 4),
+            "virtual_s": obs.virtual_time.total - v0,
+        }
+    figures.update(_lcc_pair())
+    total = round(sum(e["wall_s"] for e in figures.values()), 4)
+    return {"figures": figures, "total_wall_s": total}
+
+
+def check_regression(
+    result: dict[str, Any],
+    baseline_path: Path,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Compare against a committed baseline; returns failure messages."""
+    baseline = json.loads(baseline_path.read_text())
+    problems: list[str] = []
+    base_total = baseline.get("total_wall_s")
+    if base_total and result["total_wall_s"] > max_regression * base_total:
+        problems.append(
+            f"total wall-clock {result['total_wall_s']:.2f}s exceeds "
+            f"{max_regression:.1f}x the baseline {base_total:.2f}s"
+        )
+    for name, entry in result["figures"].items():
+        base = baseline.get("figures", {}).get(name)
+        if base is None:
+            continue
+        if entry["virtual_s"] != base["virtual_s"]:
+            problems.append(
+                f"{name}: virtual time drifted from the baseline "
+                f"({entry['virtual_s']!r} != {base['virtual_s']!r}); "
+                "simulated results must not change in a perf PR"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench perfsmoke",
+        description="perf smoke subset; writes a JSON wall/virtual artifact",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR4.json", help="artifact path to write"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline JSON to compare wall-clock against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="fail if total wall-clock exceeds this factor over the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_perfsmoke()
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    for name, entry in result["figures"].items():
+        print(
+            f"{name:12s} wall {entry['wall_s']:8.3f}s   "
+            f"virtual {entry['virtual_s']:.6e}s"
+        )
+    print(f"{'total':12s} wall {result['total_wall_s']:8.3f}s -> {args.out}")
+
+    if args.baseline:
+        problems = check_regression(
+            result, Path(args.baseline), args.max_regression
+        )
+        if problems:
+            for p in problems:
+                print(f"PERFSMOKE FAIL: {p}")
+            return 1
+        print(f"within {args.max_regression:.1f}x of baseline {args.baseline}")
+    return 0

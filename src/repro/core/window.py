@@ -27,6 +27,15 @@ Operational modes (Sec. III-A): TRANSPARENT invalidates at every epoch
 closure (only intra-epoch reuse); ALWAYS_CACHE never invalidates;
 USER_DEFINED is ALWAYS_CACHE plus the explicit :meth:`invalidate`
 (CLAMPI_Invalidate).
+
+The get_c flow is orchestrated by the staged pipeline of
+:mod:`repro.rma.cache` (Accounting → Degradation → Consult → Miss →
+Adapt): each concern — sequence accounting, quarantine, the cost-charged
+index consult, miss insertion/eviction, adaptation — lives in exactly one
+stage; this class keeps the structural machinery (index, storage,
+evictor) the stages drive.  :meth:`CachedWindow.get_batch` serves N
+requests through the same stages with one accounting event and one
+batched event for the miss traffic.
 """
 
 from __future__ import annotations
@@ -61,6 +70,15 @@ from repro.obs import (
     EventBus,
     get_bus,
 )
+from repro.rma.cache import (
+    CacheGetRequest,
+    build_cache_pipeline,
+    describe_cached_get,
+    emit_cache_batch,
+    serve_write,
+)
+from repro.rma.descriptor import describe_get
+from repro.rma.interceptors import emit_get_batch
 
 
 class CachedWindow:
@@ -109,6 +127,9 @@ class CachedWindow:
             self.obs.attach(
                 CallbackSink(self._timeline_sample, kinds=(CACHE_EPOCH,))
             )
+        #: the staged get_c pipeline (repro.rma.cache) every cached get
+        #: flows through; stages drive the structures kept on this class
+        self._get_pipe = build_cache_pipeline()
         window.add_epoch_close_hook(self._on_epoch_close)
 
     def _timeline_sample(self, event: Event) -> None:
@@ -261,13 +282,9 @@ class CachedWindow:
         written target range are dropped so a later epoch cannot serve
         stale bytes.
         """
-        dtype, count = self._win._resolve_dtype(origin, count, datatype)
-        nbytes = self._win.put(origin, target_rank, target_disp, count, dtype)
-        du = self._win._group.disp_units[target_rank]
-        start = target_disp * du
-        span = dtype.extent * count
-        self._invalidate_overlapping(target_rank, start, start + span)
-        return nbytes
+        return serve_write(
+            self, "put", origin, target_rank, target_disp, count, datatype
+        )
 
     def accumulate(
         self,
@@ -279,14 +296,16 @@ class CachedWindow:
         datatype: Datatype | None = None,
     ) -> int:
         """Accumulates are writes: pass through and drop overlapping entries."""
-        dtype, count = self._win._resolve_dtype(origin, count, datatype)
-        nbytes = self._win.accumulate(
-            origin, target_rank, target_disp, op, count, dtype
+        return serve_write(
+            self,
+            "accumulate",
+            origin,
+            target_rank,
+            target_disp,
+            count,
+            datatype,
+            acc_op=op,
         )
-        du = self._win._group.disp_units[target_rank]
-        start = target_disp * du
-        self._invalidate_overlapping(target_rank, start, start + dtype.extent * count)
-        return nbytes
 
     def _invalidate_overlapping(self, trg: int, lo: int, hi: int) -> None:
         """Drop cached/pending entries of ``trg`` overlapping [lo, hi)."""
@@ -337,44 +356,77 @@ class CachedWindow:
         """
         if bypass_cache:
             return self._win.get(origin, target_rank, target_disp, count, datatype)
-        dtype, count = self._win._resolve_dtype(origin, count, datatype)
-        size = dtype.transfer_size(count)
-        self._seq += 1
-        self._size_sum += size
+        req = describe_cached_get(
+            self, origin, target_rank, target_disp, count, datatype
+        )
+        return self._get_pipe.serve(self, req)
 
-        # Graceful degradation (docs/resilience.md): a streak of storage
-        # faults quarantines the cache — all gets go direct until a probe
-        # window has passed.  Entry is deferred to the *top* of a get so the
-        # index/storage are never mutated mid-miss.
-        if (
-            not self._quarantined
-            and self._fault_streak >= self.config.quarantine_threshold
-        ):
-            self._enter_quarantine()
-        if self._quarantined:
-            return self._serve_degraded(
-                origin, target_rank, target_disp, count, dtype, size
+    def get_batch(self, requests) -> list[int]:
+        """Serve a batch of cached gets with one accounting pass.
+
+        ``requests`` holds ``(origin, target_rank, target_disp[, count
+        [, datatype]])`` tuples.  Every element flows through the same
+        staged pipeline as a scalar :meth:`get` — classification, cost
+        charges, quarantine probes and adaptation checks are per-element,
+        so virtual time is bit-identical to N scalar gets — but telemetry
+        is batched: misses (and degraded/partial-hit refetches) issue
+        through the wrapped window's quiet descriptor path and surface as
+        one ``rma.get_batch`` event, and the per-get ``cache.access``
+        events collapse into one ``cache.access_batch`` event.
+        """
+        access_sink: list[dict] = []
+        net_sink: list = []
+        results = [
+            self._get_pipe.serve(
+                self,
+                describe_cached_get(
+                    self,
+                    req[0],
+                    req[1],
+                    req[2],
+                    req[3] if len(req) > 3 else None,
+                    req[4] if len(req) > 4 else None,
+                    quiet=True,
+                    access_sink=access_sink,
+                    net_sink=net_sink,
+                ),
             )
+            for req in requests
+        ]
+        emit_get_batch(self._win, net_sink)
+        emit_cache_batch(self, access_sink)
+        return results
 
+    def _consult(self, req: CacheGetRequest) -> int | None:
+        """Cost-charged index consult (the Consult stage's ``before``)."""
         self.cost.lookup()
-        entry, _probes = self._index.lookup((target_rank, target_disp))
-        if entry is not None and isinstance(entry, CacheEntry):
-            if entry.state is EntryState.CACHED or entry.state is EntryState.PENDING:
-                if entry.covers(dtype, count):
-                    nbytes = self._serve_full_hit(entry, origin, size)
-                else:
-                    nbytes = self._serve_partial_hit(
-                        entry, origin, target_rank, target_disp, count, dtype, size
-                    )
-                self._emit_access(target_rank, target_disp, size)
-                self._sync_fault_counters()
-                self._maybe_adapt()
-                return nbytes
-        nbytes = self._serve_miss(origin, target_rank, target_disp, count, dtype, size)
-        self._emit_access(target_rank, target_disp, size)
-        self._sync_fault_counters()
-        self._maybe_adapt()
-        return nbytes
+        entry, _probes = self._index.lookup((req.target, req.disp))
+        if entry is None or not isinstance(entry, CacheEntry):
+            return None
+        if entry.state is not EntryState.CACHED and entry.state is not EntryState.PENDING:
+            return None
+        if entry.covers(req.dtype, req.count):
+            return self._serve_full_hit(entry, req.origin, req.size)
+        return self._serve_partial_hit(entry, req)
+
+    def _raw_get(self, req: CacheGetRequest) -> int:
+        """Issue ``req``'s bytes on the wrapped (uncached) window.
+
+        Scalar requests use the plain op method; batch elements issue a
+        quiet descriptor through the window's pipeline and record it for
+        the batch-level ``rma.get_batch`` event.
+        """
+        if req.net_sink is None:
+            return self._win.get(
+                req.origin, req.target, req.disp, req.count, req.dtype
+            )
+        desc = describe_get(
+            self._win, req.origin, req.target, req.disp, req.count, req.dtype,
+            quiet=True,
+        )
+        self._win.issue(desc)
+        req.net_sink.append(desc)
+        return desc.result
 
     def _emit_access(self, target_rank: int, target_disp: int, size: int) -> None:
         """One ``cache.access`` event per classified get_c."""
@@ -420,20 +472,12 @@ class CachedWindow:
         self.stats.record_cache_bytes(size)
         return size
 
-    def _serve_partial_hit(
-        self,
-        entry: CacheEntry,
-        origin: np.ndarray,
-        target_rank: int,
-        target_disp: int,
-        count: int,
-        dtype: Datatype,
-        size: int,
-    ) -> int:
+    def _serve_partial_hit(self, entry: CacheEntry, req: CacheGetRequest) -> int:
         """Partial hit: refetch everything; extend the entry if space allows."""
+        origin, dtype, count, size = req.origin, req.dtype, req.count, req.size
         entry.last = self._seq
         self.stats.record_access(AccessType.HIT_PARTIAL)
-        nbytes = self._win.get(origin, target_rank, target_disp, count, dtype)
+        nbytes = self._raw_get(req)
         self.stats.record_network_bytes(nbytes)
         # Extension: allocate the larger region *first* so a failure leaves
         # the existing (smaller but valid) entry untouched.
@@ -453,21 +497,14 @@ class CachedWindow:
         self.cost.descriptor_updates(2)
         return nbytes
 
-    def _serve_miss(
-        self,
-        origin: np.ndarray,
-        target_rank: int,
-        target_disp: int,
-        count: int,
-        dtype: Datatype,
-        size: int,
-    ) -> int:
+    def _serve_miss(self, req: CacheGetRequest) -> int:
+        origin, dtype, count, size = req.origin, req.dtype, req.count, req.size
         # Issue the remote get immediately: its flight time overlaps all the
         # cache-management work below (Sec. III-B2).
-        nbytes = self._win.get(origin, target_rank, target_disp, count, dtype)
+        nbytes = self._raw_get(req)
         self.stats.record_network_bytes(nbytes)
 
-        entry = CacheEntry(target_rank, target_disp, dtype, count)
+        entry = CacheEntry(req.target, req.disp, dtype, count)
         entry.last = self._seq
 
         # Oversized requests can never be stored: fail fast, no eviction
@@ -654,25 +691,17 @@ class CachedWindow:
         if self.obs.enabled:
             self._emit(CACHE_DEGRADED, state="re-enabled")
 
-    def _serve_degraded(
-        self,
-        origin: np.ndarray,
-        target_rank: int,
-        target_disp: int,
-        count: int,
-        dtype: Datatype,
-        size: int,
-    ) -> int:
-        """Quarantined get: straight to the network, classified FAILING."""
-        nbytes = self._win.get(origin, target_rank, target_disp, count, dtype)
+    def _serve_degraded(self, req: CacheGetRequest) -> int:
+        """Quarantined get: straight to the network, classified FAILING.
+
+        Accounting emission and the probe countdown run in the Accounting
+        and Degradation stages' ``after`` passes, in that (telemetry
+        contract) order.
+        """
+        nbytes = self._raw_get(req)
         self.stats.record_access(AccessType.FAILING)
         self.stats.record_degraded_get()
         self.stats.record_network_bytes(nbytes)
-        self._emit_access(target_rank, target_disp, size)
-        self._sync_fault_counters()
-        self._probe_countdown -= 1
-        if self._probe_countdown <= 0:
-            self._leave_quarantine()
         return nbytes
 
     def _sync_fault_counters(self) -> None:

@@ -7,6 +7,11 @@ management costs.  The policy object itself is pure and deterministic —
 the jitter term is driven by a uniform draw supplied by the caller (the
 per-rank :class:`~repro.faults.plan.FaultInjector` stream), never by wall
 clocks or global RNG state.
+
+Single owner: the retry *loop* consuming this policy lives in exactly one
+place — :class:`repro.rma.interceptors.Retry`, the outermost interceptor
+of both the data and sync pipelines.  Nothing else re-issues failed
+operations; lint rule ANL003 keeps callers from reaching around it.
 """
 
 from __future__ import annotations

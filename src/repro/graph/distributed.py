@@ -34,6 +34,7 @@ class GetWindow(Protocol):
     def flush(self, rank: int) -> None: ...
     def flush_all(self) -> None: ...
     def get(self, origin, target_rank, target_disp, count=None, datatype=None) -> int: ...
+    def get_batch(self, requests) -> list[int]: ...
 
 
 WindowFactory = Callable[[Communicator, np.ndarray], GetWindow]
@@ -124,3 +125,33 @@ class DistributedGraph:
             return owner, count
         self.window.get(out[:count], owner, disp)
         return owner, count
+
+    def fetch_adjacencies(self, vertices) -> list[np.ndarray]:
+        """Batched adjacency fetch with flush-pipelined completion.
+
+        All remote gets are issued through one ``window.get_batch`` call —
+        one epoch-bookkeeping pass and one batched accounting event — and
+        each distinct remote owner is flushed exactly once afterwards, so
+        the transfer latencies overlap instead of being paid serially as
+        the get+flush-per-neighbour pattern of :meth:`fetch_adjacency`
+        does.  Locally owned vertices are copied directly.  Returns one
+        int64 adjacency buffer per requested vertex, in request order.
+        """
+        bufs: list[np.ndarray] = []
+        requests: list[tuple] = []
+        owners: set[int] = set()
+        for v in vertices:
+            v = int(v)
+            owner, disp, count = self.remote_location(v)
+            buf = np.empty(count, dtype=ITEM)
+            bufs.append(buf)
+            if owner == self.comm.rank:
+                buf[:count] = self.local_adjacency(v)
+            else:
+                requests.append((buf, owner, disp))
+                owners.add(owner)
+        if requests:
+            self.window.get_batch(requests)
+            for owner in sorted(owners):
+                self.window.flush(owner)
+        return bufs

@@ -23,6 +23,15 @@ Simplification (documented in DESIGN.md): because ranks share one address
 space and the MPI standard already forbids conflicting put/get in the same
 epoch, payloads are copied at issue time; only the clocks honour the
 asynchronous completion model.
+
+Every operation is *described* as an
+:class:`repro.rma.descriptor.OpDescriptor` and *issued* through the
+window's interceptor pipeline (:mod:`repro.rma`): retry/backoff, fault
+injection, the simulated transport (byte movement + cost pricing),
+telemetry emission and epoch closure each live in exactly one
+interceptor.  The op methods below only validate, build the descriptor
+and manage epoch state; :meth:`Window.get_batch` issues N descriptors
+with one epoch-bookkeeping pass and one batched telemetry event.
 """
 
 from __future__ import annotations
@@ -30,49 +39,35 @@ from __future__ import annotations
 import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.faults import DEFAULT_RETRY_POLICY
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import BYTE, Datatype, from_numpy
-from repro.mpi.errors import (
-    EpochError,
-    RMATimeoutError,
-    TransientNetworkError,
-    WindowError,
+from repro.mpi.errors import EpochError, WindowError
+from repro.obs import Event, get_bus
+
+# Submodule imports (not the package) keep the repro.mpi <-> repro.rma
+# import graph acyclic regardless of which package is imported first.
+from repro.rma.descriptor import (
+    OpDescriptor,
+    describe_accumulate,
+    describe_get,
+    describe_get_batch,
+    describe_lock,
+    describe_put,
+    describe_sync,
 )
-from repro.obs import (
-    FAULT_INJECTED,
-    FAULT_RETRY,
-    NET_TRANSFER,
-    RMA_ACCUMULATE,
-    RMA_FENCE,
-    RMA_FLUSH,
-    RMA_GET,
-    RMA_LOCK,
-    RMA_PUT,
-    RMA_UNLOCK,
-    Event,
-    get_bus,
+from repro.rma.interceptors import (
+    build_data_pipeline,
+    build_sync_pipeline,
+    emit_get_batch,
 )
 
 LOCK_SHARED = "shared"
 LOCK_EXCLUSIVE = "exclusive"
-
-
-def _origin_attrs(origin_bytes: np.ndarray, nbytes: int) -> dict[str, int]:
-    """Identity of the local origin buffer region an op reads/writes.
-
-    ``origin`` is the buffer's host address, ``onbytes`` the bytes used —
-    enough for the :mod:`repro.analysis` sanitizer to catch reuse of an
-    origin buffer before the get that fills it completed.
-    """
-    return {
-        "origin": int(origin_bytes.__array_interface__["data"][0]),
-        "onbytes": nbytes,
-    }
 
 #: Fixed CPU cost of a flush/unlock synchronisation call.
 SYNC_OVERHEAD = 50e-9
@@ -172,6 +167,9 @@ class Window:
         self._retry = getattr(comm, "retry", None) or DEFAULT_RETRY_POLICY
         self.faults_injected = 0  #: injected faults that raised on this window
         self.retries = 0          #: retry attempts performed on this window
+        #: the interceptor pipelines every op is issued through (repro.rma)
+        self._data_pipe = build_data_pipeline(self)
+        self._sync_pipe = build_sync_pipeline(self)
 
     # ------------------------------------------------------------------
     # creation / destruction (collective)
@@ -282,8 +280,7 @@ class Window:
         if self._fence_active:
             raise EpochError("lock inside a fence epoch")
         self._locked.add(rank)
-        if self._obs.enabled:
-            self._emit(RMA_LOCK, target=rank, lock_type=lock_type)
+        self._sync_pipe.issue(describe_lock(self, rank, lock_type))
 
     def lock_all(self) -> None:
         """Open a passive-target access epoch towards every rank."""
@@ -291,8 +288,7 @@ class Window:
         if self._locked_all or self._locked or self._fence_active:
             raise EpochError("lock_all inside an existing epoch")
         self._locked_all = True
-        if self._obs.enabled:
-            self._emit(RMA_LOCK, target=None, lock_type=LOCK_SHARED)
+        self._sync_pipe.issue(describe_lock(self, None, LOCK_SHARED))
 
     def unlock(self, rank: int) -> None:
         """Complete outstanding ops to ``rank`` and close its epoch."""
@@ -302,21 +298,17 @@ class Window:
                 f"unlock({rank}): rank {rank} is not locked by rank "
                 f"{self._comm.rank} ({self._epoch_state()})"
             )
-        if self._faults is None:
-            self._unlock_once(rank)
-        else:
-            self._resilient("flush", rank, lambda: self._unlock_once(rank))
-
-    def _unlock_once(self, rank: int) -> None:
-        t0 = self._comm.proc.clock
-        self._inject_sync_fault(rank)
-        self._complete({rank})
-        self._locked.discard(rank)
-        if self._obs.enabled:
-            self._emit(
-                RMA_UNLOCK, duration=self._comm.proc.clock - t0, target=rank
+        self._sync_pipe.issue(
+            describe_sync(
+                self,
+                "unlock",
+                target=rank,
+                targets={rank},
+                close_targets={rank},
+                finalize=lambda: self._locked.discard(rank),
+                emit_attrs={"target": rank},
             )
-        self._close_epoch({rank})
+        )
 
     def unlock_all(self) -> None:
         """Complete all outstanding ops and close the lock_all epoch."""
@@ -326,21 +318,21 @@ class Window:
                 f"unlock_all on rank {self._comm.rank} without a lock_all "
                 f"epoch ({self._epoch_state()})"
             )
-        if self._faults is None:
-            self._unlock_all_once()
-        else:
-            self._resilient("flush", None, self._unlock_all_once)
 
-    def _unlock_all_once(self) -> None:
-        t0 = self._comm.proc.clock
-        self._inject_sync_fault(None)
-        self._complete(None)
-        self._locked_all = False
-        if self._obs.enabled:
-            self._emit(
-                RMA_UNLOCK, duration=self._comm.proc.clock - t0, target=None
+        def finalize() -> None:
+            self._locked_all = False
+
+        self._sync_pipe.issue(
+            describe_sync(
+                self,
+                "unlock_all",
+                target=None,
+                targets=None,
+                close_targets=None,
+                finalize=finalize,
+                emit_attrs={"target": None},
             )
-        self._close_epoch(None)
+        )
 
     def flush(self, rank: int) -> None:
         """Complete outstanding ops to ``rank`` without releasing the lock.
@@ -351,52 +343,48 @@ class Window:
         """
         self._check_alive()
         self._require_epoch(rank, "flush")
-        if self._faults is None:
-            self._flush_once(rank)
-        else:
-            self._resilient("flush", rank, lambda: self._flush_once(rank))
-
-    def _flush_once(self, rank: int) -> None:
-        t0 = self._comm.proc.clock
-        self._inject_sync_fault(rank)
-        self._complete({rank})
-        if self._obs.enabled:
-            self._emit(
-                RMA_FLUSH, duration=self._comm.proc.clock - t0, target=rank
+        self._sync_pipe.issue(
+            describe_sync(
+                self,
+                "flush",
+                target=rank,
+                targets={rank},
+                close_targets={rank},
+                emit_attrs={"target": rank},
             )
-        self._close_epoch({rank})
+        )
 
     def flush_all(self) -> None:
         """Complete all outstanding ops without releasing any lock."""
         self._check_alive()
         if not (self._locked_all or self._locked):
             raise EpochError("flush_all outside an access epoch")
-        if self._faults is None:
-            self._flush_all_once()
-        else:
-            self._resilient("flush", None, self._flush_all_once)
-
-    def _flush_all_once(self) -> None:
-        t0 = self._comm.proc.clock
-        self._inject_sync_fault(None)
-        self._complete(None)
-        if self._obs.enabled:
-            self._emit(
-                RMA_FLUSH, duration=self._comm.proc.clock - t0, target=None
+        self._sync_pipe.issue(
+            describe_sync(
+                self,
+                "flush_all",
+                target=None,
+                targets=None,
+                close_targets=None,
+                emit_attrs={"target": None},
             )
-        self._close_epoch(None)
+        )
 
     def fence(self) -> None:
         """Active-target synchronisation: collective epoch boundary."""
         self._check_alive()
         if self._locked_all or self._locked or self._access_group:
             raise EpochError("fence inside another access epoch")
-        t0 = self._comm.proc.clock
-        self._complete(None)
-        self._comm.barrier()
-        if self._obs.enabled:
-            self._emit(RMA_FENCE, duration=self._comm.proc.clock - t0)
-        self._close_epoch(None)
+        self._sync_pipe.issue(
+            describe_sync(
+                self,
+                "fence",
+                targets=None,
+                close_targets=None,
+                barrier=True,
+                fault_site=None,
+            )
+        )
 
     # -- context-manager epoch APIs ------------------------------------
     @contextmanager
@@ -472,21 +460,25 @@ class Window:
         self._check_alive()
         if not self._access_group:
             raise EpochError("complete without a matching start")
-        t0 = self._comm.proc.clock
-        self._complete(None)
-        group = self._access_group
-        self._access_group = set()
-        if self._obs.enabled:
-            # Completion is an epoch-closure event like flush; telemetry
-            # consumers (the repro.analysis sanitizer in particular) rely
-            # on seeing it to retire this origin's outstanding ops.
-            self._emit(
-                RMA_FLUSH,
-                duration=self._comm.proc.clock - t0,
-                target=None,
-                pscw=True,
+        group = set(self._access_group)
+
+        def finalize() -> None:
+            self._access_group = set()
+
+        # Completion is an epoch-closure event like flush; telemetry
+        # consumers (the repro.analysis sanitizer in particular) rely on
+        # seeing the flush event to retire this origin's outstanding ops.
+        self._sync_pipe.issue(
+            describe_sync(
+                self,
+                "complete",
+                targets=None,
+                close_targets=group,
+                finalize=finalize,
+                fault_site=None,
+                emit_attrs={"target": None, "pscw": True},
             )
-        self._close_epoch(set(group))
+        )
 
     def post(self, group: set[int] | list[int]) -> None:
         """Expose the local window to ``group`` (MPI_Win_post).
@@ -548,43 +540,37 @@ class Window:
         the retry policy's attempt budget; re-issuing moves the same bytes,
         so results stay bit-identical to a fault-free run.
         """
-        datatype, count = self._resolve_dtype(origin, count, datatype)
-        if self._faults is None:
-            return self._get_once(origin, target_rank, target_disp, count, datatype)
-        return self._resilient(
-            "get",
-            target_rank,
-            lambda: self._get_once(origin, target_rank, target_disp, count, datatype),
-        )
+        desc = describe_get(self, origin, target_rank, target_disp, count, datatype)
+        return self._data_pipe.issue(desc).result
 
-    def _get_once(
-        self,
-        origin: np.ndarray,
-        target_rank: int,
-        target_disp: int,
-        count: int,
-        datatype: Datatype,
-    ) -> int:
-        payload = self._access(target_rank, target_disp, count, datatype, "get")
-        origin_bytes = self._origin_bytes(origin)
-        nbytes = len(payload)
-        if origin_bytes.nbytes < nbytes:
-            raise WindowError(
-                f"origin buffer too small: {origin_bytes.nbytes} < {nbytes}"
-            )
-        origin_bytes[:nbytes] = payload
-        self._inject_op_fault("get", target_rank, nbytes)
-        self._post(target_rank, nbytes)
-        if self._obs.enabled:
-            self._emit(
-                RMA_GET,
-                target=target_rank,
-                disp=target_disp,
-                nbytes=nbytes,
-                **self._span_attrs(target_rank, target_disp, count, datatype),
-                **_origin_attrs(origin_bytes, nbytes),
-            )
-        return nbytes
+    def get_batch(self, requests: Sequence[tuple]) -> list[int]:
+        """Issue a batch of gets in one pass; returns per-op payload bytes.
+
+        ``requests`` holds ``(origin, target_rank, target_disp[, count
+        [, datatype]])`` tuples.  The batch performs **one**
+        epoch-bookkeeping pass (liveness once, the epoch once per distinct
+        target) and emits **one** batched telemetry event
+        (``rma.get_batch``, carrying every op's sanitizer footprint)
+        instead of N per-op events.  Each element still flows through the
+        full interceptor pipeline — fault injection fires, retries charge
+        their virtual-time backoff, transfers are priced per element — so
+        the resulting virtual time is bit-identical to N scalar gets.
+        """
+        descs = describe_get_batch(self, requests)
+        for desc in descs:
+            self._data_pipe.issue(desc)
+        emit_get_batch(self, descs)
+        return [d.result for d in descs]
+
+    def issue(self, desc: OpDescriptor) -> OpDescriptor:
+        """Issue a pre-built descriptor through the matching pipeline.
+
+        The extension point for layered windows (the CLaMPI cache batches
+        its miss traffic through here) and future backends; scalar op
+        methods are thin wrappers over describe + issue.
+        """
+        pipe = self._data_pipe if desc.is_data else self._sync_pipe
+        return pipe.issue(desc)
 
     def put(
         self,
@@ -595,45 +581,8 @@ class Window:
         datatype: Datatype | None = None,
     ) -> int:
         """Post a non-blocking put; returns the payload size in bytes."""
-        datatype, count = self._resolve_dtype(origin, count, datatype)
-        if self._faults is None:
-            return self._put_once(origin, target_rank, target_disp, count, datatype)
-        return self._resilient(
-            "put",
-            target_rank,
-            lambda: self._put_once(origin, target_rank, target_disp, count, datatype),
-        )
-
-    def _put_once(
-        self,
-        origin: np.ndarray,
-        target_rank: int,
-        target_disp: int,
-        count: int,
-        datatype: Datatype,
-    ) -> int:
-        origin_bytes = self._origin_bytes(origin)
-        nbytes = datatype.transfer_size(count)
-        if origin_bytes.nbytes < nbytes:
-            raise WindowError(
-                f"origin buffer too small: {origin_bytes.nbytes} < {nbytes}"
-            )
-        self._access(
-            target_rank, target_disp, count, datatype, "put",
-            payload=origin_bytes[:nbytes],
-        )
-        self._inject_op_fault("put", target_rank, nbytes)
-        self._post(target_rank, nbytes)
-        if self._obs.enabled:
-            self._emit(
-                RMA_PUT,
-                target=target_rank,
-                disp=target_disp,
-                nbytes=nbytes,
-                **self._span_attrs(target_rank, target_disp, count, datatype),
-                **_origin_attrs(origin_bytes, nbytes),
-            )
-        return nbytes
+        desc = describe_put(self, origin, target_rank, target_disp, count, datatype)
+        return self._data_pipe.issue(desc).result
 
     def get_blocking(
         self,
@@ -657,8 +606,9 @@ class Window:
         datatype: Datatype | None = None,
     ) -> Request:
         """Request-based get (MPI_Rget): complete with ``Request.wait``."""
-        self.get(origin, target_rank, target_disp, count, datatype)
-        return Request(self, self._pending[-1])
+        desc = describe_get(self, origin, target_rank, target_disp, count, datatype)
+        self._data_pipe.issue(desc)
+        return Request(self, desc.pending_op)
 
     def rput(
         self,
@@ -669,8 +619,9 @@ class Window:
         datatype: Datatype | None = None,
     ) -> Request:
         """Request-based put (MPI_Rput)."""
-        self.put(origin, target_rank, target_disp, count, datatype)
-        return Request(self, self._pending[-1])
+        desc = describe_put(self, origin, target_rank, target_disp, count, datatype)
+        self._data_pipe.issue(desc)
+        return Request(self, desc.pending_op)
 
     def accumulate(
         self,
@@ -688,49 +639,10 @@ class Window:
         supported for accumulates, matching common MPI restrictions).
         Accumulates are never cached by CLaMPI (they are writes).
         """
-        datatype, count = self._resolve_dtype(origin, count, datatype)
-        if not datatype.is_contiguous():
-            raise WindowError("accumulate requires a contiguous datatype")
-        self._check_alive()
-        self._check_rank(target_rank)
-        self._require_epoch(target_rank, "accumulate")
-        if target_disp < 0:
-            raise WindowError(f"negative displacement: {target_disp}")
-        nbytes = datatype.transfer_size(count)
-        obuf = self._origin_bytes(origin)[:nbytes]
-        tbuf = self._group.buffers[target_rank]
-        base = target_disp * self._group.disp_units[target_rank]
-        if base + nbytes > tbuf.nbytes:
-            raise WindowError(
-                f"accumulate out of bounds: [{base}, {base + nbytes}) > "
-                f"window size {tbuf.nbytes} at rank {target_rank}"
-            )
-        np_dtype = origin.dtype
-        src = obuf.view(np_dtype)
-        dst = tbuf[base : base + nbytes].view(np_dtype)
-        if op == "sum":
-            dst += src
-        elif op == "max":
-            np.maximum(dst, src, out=dst)
-        elif op == "min":
-            np.minimum(dst, src, out=dst)
-        elif op == "replace":
-            dst[:] = src
-        else:
-            raise WindowError(f"unknown accumulate op: {op}")
-        self._post(target_rank, nbytes)
-        if self._obs.enabled:
-            self._emit(
-                RMA_ACCUMULATE,
-                target=target_rank,
-                disp=target_disp,
-                nbytes=nbytes,
-                op=op,
-                base=base,
-                span=nbytes,
-                **_origin_attrs(obuf, nbytes),
-            )
-        return nbytes
+        desc = describe_accumulate(
+            self, origin, target_rank, target_disp, op, count, datatype
+        )
+        return self._data_pipe.issue(desc).result
 
     # ------------------------------------------------------------------
     # internals
@@ -754,185 +666,6 @@ class Window:
         if not origin.flags["C_CONTIGUOUS"]:
             raise WindowError("origin buffer must be C-contiguous")
         return origin.view(np.uint8).reshape(-1)
-
-    def _span_attrs(
-        self, target_rank: int, target_disp: int, count: int, datatype: Datatype
-    ) -> dict[str, int]:
-        """Byte footprint of an op at the target, for telemetry consumers.
-
-        ``base`` is the first byte touched in the target window, ``span``
-        the exact extent of the flattened datatype — what the
-        :mod:`repro.analysis` sanitizer uses for interval-overlap checks
-        (touching-but-disjoint ranges must not be conflated).  Only built
-        on the obs-enabled path.
-        """
-        blocks = datatype.flatten(count)
-        span = blocks[-1][0] + blocks[-1][1] if blocks else 0
-        return {
-            "base": target_disp * self._group.disp_units[target_rank],
-            "span": span,
-        }
-
-    def _access(
-        self,
-        target_rank: int,
-        target_disp: int,
-        count: int,
-        datatype: Datatype,
-        kind: str,
-        payload: np.ndarray | None = None,
-    ) -> np.ndarray:
-        """Gather (get) or scatter (put) payload bytes at the target."""
-        self._check_alive()
-        self._check_rank(target_rank)
-        self._require_epoch(target_rank, kind)
-        if target_disp < 0:
-            raise WindowError(f"negative displacement: {target_disp}")
-        tbuf = self._group.buffers[target_rank]
-        base = target_disp * self._group.disp_units[target_rank]
-        blocks = datatype.flatten(count)
-        span = blocks[-1][0] + blocks[-1][1] if blocks else 0
-        if base + span > tbuf.nbytes:
-            raise WindowError(
-                f"{kind} out of bounds: disp {base} + span {span} > "
-                f"window size {tbuf.nbytes} at rank {target_rank}"
-            )
-        if kind == "get":
-            if len(blocks) == 1:
-                off, size = blocks[0]
-                return tbuf[base + off : base + off + size]
-            parts = [tbuf[base + off : base + off + size] for off, size in blocks]
-            return np.concatenate(parts) if parts else np.empty(0, np.uint8)
-        # put: scatter payload into the target layout
-        assert payload is not None
-        cursor = 0
-        for off, size in blocks:
-            tbuf[base + off : base + off + size] = payload[cursor : cursor + size]
-            cursor += size
-        return payload
-
-    def _post(self, target_rank: int, nbytes: int) -> None:
-        proc = self._comm.proc
-        perf = self._comm.perf
-        issue = perf.issue_time(self._comm.rank, target_rank, nbytes)
-        proc.advance(issue)
-        duration = perf.get_time(self._comm.rank, target_rank, nbytes)
-        if self._faults is not None:
-            # Congestion jitter: stall the transfer beyond the model-priced
-            # duration.  A stall that blows the per-op timeout degenerates
-            # into a (retryable) timeout failure.
-            stall = self._faults.stall_for(target_rank, duration)
-            if stall > 0.0:
-                duration += stall
-                if self._obs.enabled:
-                    self._emit(
-                        FAULT_INJECTED, op="jitter", target=target_rank, stall=stall
-                    )
-                timeout = self._retry.op_timeout
-                if timeout is not None and duration > timeout:
-                    proc.advance(timeout)
-                    self.faults_injected += 1
-                    if self._obs.enabled:
-                        self._emit(
-                            FAULT_INJECTED,
-                            op="timeout",
-                            target=target_rank,
-                            wasted=timeout,
-                        )
-                    raise RMATimeoutError(
-                        f"transfer of {nbytes} B to rank {target_rank} stalled "
-                        f"{stall:.3e}s past the {timeout:.3e}s op timeout"
-                    )
-        self._pending.append(_PendingOp(target_rank, proc.clock, duration))
-        self._bytes_transferred += nbytes
-        dist = perf.topology.distance(self._comm.rank, target_rank)
-        self._bytes_by_distance[dist] = self._bytes_by_distance.get(dist, 0) + nbytes
-        if self._obs.enabled:
-            # One span per charged transfer: how the net.model priced it.
-            self._emit(
-                NET_TRANSFER,
-                duration=duration,
-                target=target_rank,
-                nbytes=nbytes,
-                distance=dist.name,
-                issue=issue,
-            )
-
-    # -- fault injection / resilience ----------------------------------
-    def _inject_op_fault(self, op: str, target: int, nbytes: int) -> None:
-        """Consult the injector for a get/put site; raise on a fired rule.
-
-        A transient failure still costs time: the initiator wasted the
-        issue overhead plus the round trip before the NIC reported the
-        error (capped at the per-op timeout when one is configured).
-        """
-        inj = self._faults
-        if inj is None:
-            return
-        if inj.fire(op, target) is None:
-            return
-        perf = self._comm.perf
-        wasted = perf.issue_time(self._comm.rank, target, nbytes) + perf.get_time(
-            self._comm.rank, target, nbytes
-        )
-        timeout = self._retry.op_timeout
-        if timeout is not None:
-            wasted = min(wasted, timeout)
-        self._comm.proc.advance(wasted)
-        self.faults_injected += 1
-        if self._obs.enabled:
-            self._emit(
-                FAULT_INJECTED, op=op, target=target, nbytes=nbytes, wasted=wasted
-            )
-        raise TransientNetworkError(
-            f"injected transient {op} failure towards rank {target} "
-            f"({nbytes} B)"
-        )
-
-    def _inject_sync_fault(self, target: int | None) -> None:
-        """Consult the injector for a flush/unlock site; raise on fire."""
-        inj = self._faults
-        if inj is None:
-            return
-        if inj.fire("flush", target) is None:
-            return
-        wasted = self._retry.op_timeout or 10 * SYNC_OVERHEAD
-        self._comm.proc.advance(wasted)
-        self.faults_injected += 1
-        if self._obs.enabled:
-            self._emit(FAULT_INJECTED, op="flush", target=target, wasted=wasted)
-        where = "all ranks" if target is None else f"rank {target}"
-        raise RMATimeoutError(f"injected synchronisation timeout towards {where}")
-
-    def _resilient(self, op: str, target: int | None, fn: Callable[[], Any]) -> Any:
-        """Run ``fn`` retrying transient faults with virtual-time backoff.
-
-        Retries :class:`TransientNetworkError` and :class:`RMATimeoutError`
-        up to the policy's attempt budget; each backoff delay is charged to
-        the rank's virtual clock and drawn deterministically from the
-        injector's ``backoff`` stream.
-        """
-        policy = self._retry
-        attempt = 1
-        while True:
-            try:
-                return fn()
-            except (TransientNetworkError, RMATimeoutError) as exc:
-                if attempt >= policy.max_attempts:
-                    raise
-                delay = policy.delay(attempt, self._faults.draw("backoff"))
-                self._comm.proc.advance(delay)
-                self.retries += 1
-                if self._obs.enabled:
-                    self._emit(
-                        FAULT_RETRY,
-                        op=op,
-                        target=target,
-                        attempt=attempt,
-                        delay=delay,
-                        error=type(exc).__name__,
-                    )
-                attempt += 1
 
     def _emit(self, kind: str, duration: float = 0.0, **attrs: Any) -> None:
         """Publish one telemetry event stamped (rank, virtual time, epoch)."""

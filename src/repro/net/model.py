@@ -173,3 +173,15 @@ class PerfModel:
     def issue_time(self, src: int, dst: int, nbytes: int) -> float:
         """Initiator CPU time to post a non-blocking get."""
         return self.network.injection_time(self.topology.distance(src, dst), nbytes)
+
+    def link(self, src: int, dst: int) -> tuple[Distance, float, float, float]:
+        """``(distance, issue, alpha, bandwidth)`` for one rank pair.
+
+        Everything here is a pure function of the pair, so per-op hot
+        paths may compute it once per target and reuse it: ``issue`` is
+        exactly :meth:`issue_time` and ``alpha + nbytes / bandwidth`` is
+        exactly :meth:`get_time` for any size.
+        """
+        dist = self.topology.distance(src, dst)
+        alpha, bw = self.network._params(dist)
+        return dist, self.network.injection_time(dist, 0), alpha, bw

@@ -39,6 +39,7 @@ from repro.obs.events import (
     ALL_KINDS,
     ANALYSIS_VIOLATION,
     CACHE_ACCESS,
+    CACHE_ACCESS_BATCH,
     CACHE_ADAPT,
     CACHE_DEGRADED,
     CACHE_EPOCH,
@@ -51,6 +52,7 @@ from repro.obs.events import (
     RMA_FENCE,
     RMA_FLUSH,
     RMA_GET,
+    RMA_GET_BATCH,
     RMA_LOCK,
     RMA_PUT,
     RMA_UNLOCK,
@@ -64,6 +66,7 @@ __all__ = [
     "ALL_KINDS",
     "ANALYSIS_VIOLATION",
     "CACHE_ACCESS",
+    "CACHE_ACCESS_BATCH",
     "CACHE_ADAPT",
     "CACHE_DEGRADED",
     "CACHE_EPOCH",
@@ -81,6 +84,7 @@ __all__ = [
     "RMA_FENCE",
     "RMA_FLUSH",
     "RMA_GET",
+    "RMA_GET_BATCH",
     "RMA_LOCK",
     "RMA_PUT",
     "RMA_UNLOCK",

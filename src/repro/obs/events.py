@@ -28,6 +28,7 @@ from typing import Any, Mapping
 # Event kinds.  Dotted names group by emitting layer.
 # ---------------------------------------------------------------------------
 RMA_GET = "rma.get"                  #: a one-sided get was posted
+RMA_GET_BATCH = "rma.get_batch"      #: a batch of gets issued in one pass
 RMA_PUT = "rma.put"                  #: a one-sided put was posted
 RMA_ACCUMULATE = "rma.accumulate"    #: an accumulate was applied
 RMA_FLUSH = "rma.flush"              #: flush/flush_all completed operations
@@ -37,6 +38,7 @@ RMA_UNLOCK = "rma.unlock"            #: a passive-target epoch closed
 NET_TRANSFER = "net.transfer"        #: the network model charged a transfer
 SCHED_SWITCH = "sched.switch"        #: the scheduler dispatched another rank
 CACHE_ACCESS = "cache.access"        #: one classified get_c (hit/miss/...)
+CACHE_ACCESS_BATCH = "cache.access_batch"  #: one accounting pass for a get_batch
 CACHE_EVICT = "cache.evict"          #: a cache entry was evicted
 CACHE_INVALIDATE = "cache.invalidate"  #: the cache content was dropped
 CACHE_ADAPT = "cache.adapt"          #: the adaptive controller resized C_w
@@ -51,6 +53,7 @@ ALL_KINDS = frozenset(
     {
         ANALYSIS_VIOLATION,
         RMA_GET,
+        RMA_GET_BATCH,
         RMA_PUT,
         RMA_ACCUMULATE,
         RMA_FLUSH,
@@ -60,6 +63,7 @@ ALL_KINDS = frozenset(
         NET_TRANSFER,
         SCHED_SWITCH,
         CACHE_ACCESS,
+        CACHE_ACCESS_BATCH,
         CACHE_EVICT,
         CACHE_INVALIDATE,
         CACHE_ADAPT,

@@ -1,0 +1,255 @@
+"""The staged pipeline behind CLaMPI's ``get_c`` processing engine.
+
+Unlike the MPI-layer onion (:mod:`repro.rma.pipeline`), the cached-get
+path is a **staged** pipeline: every stage gets a ``before`` pass (run in
+order until one serves the request) and an ``after`` pass (always run, in
+the same order).  The split exists because the cache's telemetry contract
+is ordered — ``cache.access`` must precede the degradation probe's
+``cache.degraded`` re-enable event, which an onion's unwind order would
+invert.
+
+Stage order for ``CachedWindow.get`` (see ``docs/architecture.md``)::
+
+    Accounting   before: sequence bookkeeping (seq, size sum)
+    Degradation  before: quarantine entry + degraded direct serve
+    Consult      before: cost-charged index lookup, full/partial hit serve
+    Miss         before: remote issue + insert/evict (always serves)
+    --
+    Accounting   after:  cache.access emission + fault-counter fold
+    Degradation  after:  probe countdown / re-enable
+    Adapt        after:  adaptive controller check
+
+The stages orchestrate; the structural machinery (cuckoo index, storage,
+eviction engine) stays on :class:`repro.core.window.CachedWindow`, which
+the request hands back to each stage.
+
+Batched requests (``quiet=True``) serve element-by-element through the
+same stages — identical classification, cost charges and adaptation
+points, hence bit-identical virtual time — but collect their access
+records and raw-transfer descriptors into shared sinks so the batch entry
+point can emit one ``cache.access_batch`` + one ``rma.get_batch`` event
+for the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.mpi.datatypes import Datatype
+from repro.obs import CACHE_ACCESS_BATCH
+from repro.rma.descriptor import OpDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.window import CachedWindow
+
+
+@dataclass(slots=True)
+class CacheGetRequest:
+    """One ``get_c`` flowing through the staged cache pipeline."""
+
+    origin: np.ndarray
+    target: int
+    disp: int
+    count: int
+    dtype: Datatype
+    size: int                #: transfer size in bytes
+    quiet: bool = False      #: batch element: suppress the per-op event
+    degraded: bool = False   #: served direct by the quarantined cache
+    result: int = 0
+    #: batch sinks (shared across one get_batch); None on the scalar path
+    access_sink: list[dict[str, Any]] | None = None
+    net_sink: list[OpDescriptor] | None = None
+
+
+class CacheStage:
+    """One stage of the cached-get pipeline."""
+
+    name = "stage"
+
+    def before(self, cw: "CachedWindow", req: CacheGetRequest) -> int | None:
+        """Serve ``req`` (return payload bytes) or pass (return None)."""
+        return None
+
+    def after(self, cw: "CachedWindow", req: CacheGetRequest) -> None:
+        """Post-serve pass; runs for every stage, in stage order."""
+
+
+class CachePipeline:
+    """The bound stage sequence of one :class:`CachedWindow`."""
+
+    def __init__(self, stages: list[CacheStage]):
+        self.stages = tuple(stages)
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.stages)
+
+    def serve(self, cw: "CachedWindow", req: CacheGetRequest) -> int:
+        for stage in self.stages:
+            nbytes = stage.before(cw, req)
+            if nbytes is not None:
+                req.result = nbytes
+                break
+        for stage in self.stages:
+            stage.after(cw, req)
+        return req.result
+
+
+class Accounting(CacheStage):
+    """Sequence bookkeeping and the per-get accounting event."""
+
+    name = "accounting"
+
+    def before(self, cw: "CachedWindow", req: CacheGetRequest) -> int | None:
+        cw._seq += 1
+        cw._size_sum += req.size
+        return None
+
+    def after(self, cw: "CachedWindow", req: CacheGetRequest) -> None:
+        if req.quiet:
+            if req.access_sink is not None:
+                assert cw.stats.last_access is not None
+                req.access_sink.append(
+                    {
+                        "access": cw.stats.last_access.value,
+                        "target": req.target,
+                        "disp": req.disp,
+                        "nbytes": req.size,
+                        "base": req.disp
+                        * cw._win._group.disp_units[req.target],
+                    }
+                )
+        else:
+            cw._emit_access(req.target, req.disp, req.size)
+        cw._sync_fault_counters()
+
+
+class Degradation(CacheStage):
+    """Graceful degradation: quarantine entry, direct serve, probe."""
+
+    name = "degradation"
+
+    def before(self, cw: "CachedWindow", req: CacheGetRequest) -> int | None:
+        if (
+            not cw._quarantined
+            and cw._fault_streak >= cw.config.quarantine_threshold
+        ):
+            cw._enter_quarantine()
+        if not cw._quarantined:
+            return None
+        req.degraded = True
+        return cw._serve_degraded(req)
+
+    def after(self, cw: "CachedWindow", req: CacheGetRequest) -> None:
+        if not req.degraded:
+            return
+        cw._probe_countdown -= 1
+        if cw._probe_countdown <= 0:
+            cw._leave_quarantine()
+
+
+class Consult(CacheStage):
+    """Cost-charged index consult; serves full and partial hits."""
+
+    name = "consult"
+
+    def before(self, cw: "CachedWindow", req: CacheGetRequest) -> int | None:
+        return cw._consult(req)
+
+
+class Miss(CacheStage):
+    """Remote issue + index insert / eviction; always serves."""
+
+    name = "miss"
+
+    def before(self, cw: "CachedWindow", req: CacheGetRequest) -> int | None:
+        return cw._serve_miss(req)
+
+
+class Adapt(CacheStage):
+    """Adaptive-controller check after each non-degraded get."""
+
+    name = "adapt"
+
+    def after(self, cw: "CachedWindow", req: CacheGetRequest) -> None:
+        if not req.degraded:
+            cw._maybe_adapt()
+
+
+def build_cache_pipeline() -> CachePipeline:
+    """The standard ``get_c`` stage sequence."""
+    return CachePipeline([Accounting(), Degradation(), Consult(), Miss(), Adapt()])
+
+
+def describe_cached_get(
+    cw: "CachedWindow",
+    origin: np.ndarray,
+    target_rank: int,
+    target_disp: int,
+    count: int | None,
+    datatype: Datatype | None,
+    *,
+    quiet: bool = False,
+    access_sink: list[dict[str, Any]] | None = None,
+    net_sink: list[OpDescriptor] | None = None,
+) -> CacheGetRequest:
+    dtype, count = cw._win._resolve_dtype(origin, count, datatype)
+    return CacheGetRequest(
+        origin=origin,
+        target=target_rank,
+        disp=target_disp,
+        count=count,
+        dtype=dtype,
+        size=dtype.transfer_size(count),
+        quiet=quiet,
+        access_sink=access_sink,
+        net_sink=net_sink,
+    )
+
+
+def serve_write(
+    cw: "CachedWindow",
+    kind: str,
+    origin: np.ndarray,
+    target_rank: int,
+    target_disp: int,
+    count: int | None,
+    datatype: Datatype | None,
+    acc_op: str = "sum",
+) -> int:
+    """Write-through stage for cached puts/accumulates.
+
+    Writes are never cached (paper Sec. II): pass through to the wrapped
+    window's pipeline, then drop any cached entries overlapping the
+    written range so a later epoch cannot serve stale bytes.
+    """
+    dtype, count = cw._win._resolve_dtype(origin, count, datatype)
+    if kind == "put":
+        nbytes = cw._win.put(origin, target_rank, target_disp, count, dtype)
+    else:
+        nbytes = cw._win.accumulate(
+            origin, target_rank, target_disp, acc_op, count, dtype
+        )
+    du = cw._win._group.disp_units[target_rank]
+    start = target_disp * du
+    cw._invalidate_overlapping(
+        target_rank, start, start + dtype.extent * count
+    )
+    return nbytes
+
+
+def emit_cache_batch(
+    cw: "CachedWindow", records: list[dict[str, Any]]
+) -> None:
+    """One ``cache.access_batch`` accounting event for a ``get_batch``."""
+    if not records or not cw.obs.enabled:
+        return
+    cw._emit(
+        CACHE_ACCESS_BATCH,
+        count=len(records),
+        nbytes=sum(r["nbytes"] for r in records),
+        ops=records,
+    )

@@ -3,8 +3,16 @@
 Design
 ------
 * A :class:`SimWorld` owns ``nprocs`` :class:`SimProcess` handles and one
-  thread per rank.  A single condition variable serialises execution: the
-  thread whose rank equals ``world._current`` runs, everyone else waits.
+  thread per rank.  One shared lock serialises execution: the thread whose
+  rank equals ``world._current`` runs, everyone else waits.
+* Waiting is *targeted* by default: every rank thread sleeps on its own
+  condition variable (all sharing the one lock), and the dispatcher wakes
+  exactly the chosen rank — O(1) wakeups per switch instead of the O(P)
+  broadcast storm of a single shared condition, where every switch woke
+  all P threads just for P-1 of them to re-check a predicate and sleep
+  again.  ``wakeup="broadcast"`` keeps the legacy single-condition mode;
+  both produce byte-identical ``sched.switch`` traces because the
+  *selection* rule below is untouched.
 * Threads voluntarily release control only inside :meth:`SimProcess.sync`
   (the generic payload-carrying barrier) or when they finish.  Everything
   else — including remote-memory reads, which need no target-side CPU — runs
@@ -121,21 +129,36 @@ class SimWorld:
         schedule: str = "deterministic",
         seed: int = 0,
         join_timeout: float = 30.0,
+        wakeup: str = "targeted",
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if schedule not in ("deterministic", "random"):
             raise ValueError(f"unknown schedule: {schedule}")
+        if wakeup not in ("targeted", "broadcast"):
+            raise ValueError(f"unknown wakeup mode: {wakeup}")
         if join_timeout <= 0:
             raise ValueError("join_timeout must be > 0")
         #: wall-clock budget for rank threads to terminate after the run
         #: settles; a rank still alive past it is reported, never ignored
         self.join_timeout = join_timeout
         self._schedule = schedule
+        self._wakeup = wakeup
         self._rng = random.Random(seed)
         self.nprocs = nprocs
         self._procs = [SimProcess(self, r) for r in range(nprocs)]
-        self._cond = threading.Condition()
+        # One lock, many conditions: rank threads sleep on their own
+        # condition so a dispatch wakes exactly one thread; the driver
+        # (run()) sleeps on self._cond.  Broadcast mode aliases every
+        # per-rank condition to self._cond, restoring the legacy storm.
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        if wakeup == "targeted":
+            self._rank_conds = [
+                threading.Condition(self._lock) for _ in range(nprocs)
+            ]
+        else:
+            self._rank_conds = [self._cond] * nprocs
         self._current: int | None = None
         self._failure: tuple[int, BaseException] | None = None
         self._deadlock: str | None = None
@@ -255,29 +278,44 @@ class SimWorld:
                 if self._failure is None:
                     self._failure = (proc.rank, exc)
                 proc._state = _State.DONE
-                self._cond.notify_all()
+                self._notify_everyone_locked()
             return
         with self._cond:
             proc._state = _State.DONE
             self._dispatch_next_locked()
+            # The driver checks for all-DONE; dispatch only wakes ranks.
             self._cond.notify_all()
 
     def _wait_for_turn(self, proc: SimProcess) -> None:
         with self._cond:
-            self._cond.wait_for(
+            self._rank_conds[proc.rank].wait_for(
                 lambda: self._current == proc.rank
                 or self._failure is not None
                 or self._deadlock is not None
             )
             if self._failure is not None or self._deadlock is not None:
                 proc._state = _State.DONE
-                self._cond.notify_all()
+                self._notify_everyone_locked()
                 raise _Abort()
             proc._state = _State.RUNNING
 
     # ------------------------------------------------------------------
     # scheduling internals (all called with self._cond held)
     # ------------------------------------------------------------------
+    def _notify_rank_locked(self, rank: int) -> None:
+        """Wake exactly one rank thread (all of them in broadcast mode)."""
+        if self._wakeup == "targeted":
+            self._rank_conds[rank].notify()
+        else:
+            self._cond.notify_all()
+
+    def _notify_everyone_locked(self) -> None:
+        """Failure/deadlock/termination: wake every rank and the driver."""
+        if self._wakeup == "targeted":
+            for c in self._rank_conds:
+                c.notify()
+        self._cond.notify_all()
+
     def _dispatch_next_locked(self) -> None:
         ready = [p for p in self._procs if p._state is _State.READY]
         if not ready:
@@ -290,7 +328,7 @@ class SimWorld:
                     + " are blocked in a sync point that can never complete "
                     "(other ranks already finished)"
                 )
-                self._cond.notify_all()
+                self._notify_everyone_locked()
             self._current = None
             return
         if self._schedule == "random":
@@ -308,7 +346,7 @@ class SimWorld:
                 )
             )
         self._last_dispatched = nxt.rank
-        self._cond.notify_all()
+        self._notify_rank_locked(nxt.rank)
 
     def _sync(self, proc: SimProcess, payload: Any, extra_time: float) -> list[Any]:
         with self._cond:
@@ -338,29 +376,35 @@ class SimWorld:
                     p.clock = tmax
                     p._state = _State.READY
                 results = self._sync_results
+                if self._wakeup == "targeted":
+                    # Release every participant (they re-check the
+                    # generation counter, then queue for their turn).
+                    for p in blocked:
+                        if p is not proc:
+                            self._rank_conds[p.rank].notify()
                 self._dispatch_next_locked()
             else:
                 self._dispatch_next_locked()
-                self._cond.wait_for(
+                self._rank_conds[proc.rank].wait_for(
                     lambda: self._sync_gen > gen
                     or self._failure is not None
                     or self._deadlock is not None
                 )
                 if self._failure is not None or self._deadlock is not None:
                     proc._state = _State.DONE
-                    self._cond.notify_all()
+                    self._notify_everyone_locked()
                     raise _Abort()
                 results = self._sync_results
 
             # Wait until the scheduler actually hands control back to us.
-            self._cond.wait_for(
+            self._rank_conds[proc.rank].wait_for(
                 lambda: self._current == proc.rank
                 or self._failure is not None
                 or self._deadlock is not None
             )
             if self._failure is not None or self._deadlock is not None:
                 proc._state = _State.DONE
-                self._cond.notify_all()
+                self._notify_everyone_locked()
                 raise _Abort()
             proc._state = _State.RUNNING
             assert results is not None

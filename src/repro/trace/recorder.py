@@ -105,3 +105,12 @@ class TracingWindow:
         nbytes = self._win.get_blocking(origin, target_rank, target_disp, count, datatype)
         self._emit(target_rank, target_disp, nbytes)
         return nbytes
+
+    def get_batch(self, requests) -> list[int]:
+        # Explicit (not __getattr__ passthrough): every element must still
+        # produce its trace.get record, or traces would go blind to
+        # batched workloads.
+        sizes = self._win.get_batch(requests)
+        for req, nbytes in zip(requests, sizes):
+            self._emit(req[1], req[2], nbytes)
+        return sizes

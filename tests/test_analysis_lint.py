@@ -203,6 +203,65 @@ class TestMutableDefaults:
         assert findings == []
 
 
+class TestPipelinePurity:
+    def test_emit_in_op_method_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/bench/x.py",
+            """
+            class Window:
+                def get(self, origin, target):
+                    self._emit("rma.get", target=target)
+                    return 0
+            """,
+        )
+        assert "ANL006" in rules_of(findings)
+
+    def test_fault_and_cost_access_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/bench/x.py",
+            """
+            class CachedWindow:
+                def get_batch(self, requests):
+                    self.cost.lookup()
+                    if self._faults:
+                        pass
+            """,
+        )
+        assert rules_of(findings) == ["ANL006"]
+        assert len(findings) == 2
+
+    def test_helper_methods_and_other_classes_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/bench/x.py",
+            """
+            class Window:
+                def _serve_miss(self, req):
+                    self._emit("rma.get")
+
+            class TracingWindow:
+                def get(self, origin):
+                    self._emit("rma.get")
+            """,
+        )
+        assert findings == []
+
+    def test_describe_and_issue_pass(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/bench/x.py",
+            """
+            class Window:
+                def get(self, origin, target):
+                    desc = describe_get(self, origin, target)
+                    return self._data_pipe.issue(desc).result
+            """,
+        )
+        assert findings == []
+
+
 class TestSuppression:
     def test_allow_comment_suppresses_matching_rule(self, tmp_path):
         findings = lint_snippet(
@@ -223,7 +282,14 @@ class TestSuppression:
 
 class TestDriver:
     def test_every_rule_has_a_description(self):
-        assert set(RULES) == {"ANL001", "ANL002", "ANL003", "ANL004", "ANL005"}
+        assert set(RULES) == {
+            "ANL001",
+            "ANL002",
+            "ANL003",
+            "ANL004",
+            "ANL005",
+            "ANL006",
+        }
 
     def test_findings_sorted_and_rendered(self, tmp_path):
         findings = lint_snippet(

@@ -130,3 +130,97 @@ class TestRequests:
 
         results, _ = run(1, program)
         assert results == [True]
+
+    def test_done_ordering_through_test_and_wait(self):
+        """``done`` is False until completion is *observed* (test/wait)."""
+
+        def program(m):
+            win = Window.allocate(m.comm_world, 1 << 16)
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            win.lock(1)
+            buf = np.empty(32 * 1024, np.uint8)
+            req = win.rget(buf, 1, 0)
+            after_issue = req.done
+            probed_early = req.test()
+            after_early_probe = req.done
+            req.wait()
+            after_wait = req.done
+            # test() after wait stays True and charges nothing.
+            t = m.time
+            probed_late = req.test()
+            assert m.time == t
+            win.unlock(1)
+            return (
+                after_issue,
+                probed_early,
+                after_early_probe,
+                after_wait,
+                probed_late,
+            )
+
+        results, _ = run(2, program)
+        assert results[0] == (False, False, False, True, True)
+
+    def test_done_flips_via_successful_test(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 1 << 16)
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            win.lock(1)
+            buf = np.empty(16 * 1024, np.uint8)
+            req = win.rget(buf, 1, 0)
+            m.compute(1e-3)  # let the transfer land on the virtual clock
+            assert req.test() is True
+            win.unlock(1)
+            return req.done
+
+        results, _ = run(2, program)
+        assert results[0] is True
+
+    def test_wait_after_epoch_close_is_harmless(self):
+        """Closing the epoch completes the op; a later wait must not
+        re-complete it, corrupt the pending list or reopen the epoch."""
+
+        def program(m):
+            win = Window.allocate(m.comm_world, 64)
+            win.local_view(np.int64)[:] = m.rank + 5
+            m.comm_world.barrier()
+            win.lock_all()
+            buf = np.empty(8, np.int64)
+            req = win.rget(buf, (m.rank + 1) % m.size, 0)
+            done_before = req.done
+            win.unlock_all()  # epoch close completes every pending op
+            eph = win.eph
+            req.wait()  # observed after the fact: harmless
+            assert req.test() is True
+            # wait() is not an epoch event: eph unchanged, data delivered.
+            return done_before, req.done, win.eph == eph, int(buf[0])
+
+        results, _ = run(2, program)
+        assert results[0] == (False, True, True, 6)
+        assert results[1] == (False, True, True, 5)
+
+    def test_window_usable_after_late_wait(self):
+        def program(m):
+            win = Window.allocate(m.comm_world, 64)
+            win.local_view(np.int64)[:] = 3 * (m.rank + 1)
+            m.comm_world.barrier()
+            win.lock_all()
+            buf = np.empty(8, np.int64)
+            req = win.rget(buf, (m.rank + 1) % m.size, 0)
+            win.unlock_all()
+            req.wait()
+            # A fresh epoch on the same window still works end to end.
+            win.lock_all()
+            buf2 = np.empty(8, np.int64)
+            req2 = win.rget(buf2, (m.rank + 1) % m.size, 0)
+            req2.wait()
+            win.unlock_all()
+            return int(buf[0]), int(buf2[0])
+
+        results, _ = run(2, program)
+        assert results[0] == (6, 6)
+        assert results[1] == (3, 3)
