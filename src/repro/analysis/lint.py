@@ -31,6 +31,14 @@ Rules
     inlined cost, fault, retry or telemetry logic (``self.cost``,
     ``self._faults``, ``self._emit`` and friends) in their bodies.  Each
     cross-cutting concern lives in exactly one interceptor/stage.
+``ANL007`` **deterministic-policies** — cache policy implementations
+    (classes with a base ending in ``Policy``, i.e. anything pluggable
+    into the :mod:`repro.core.policy` registry) must not read wall-clock
+    time or draw from global RNG state — *in any package*, since
+    user-registered policies can live anywhere yet still decide victim
+    scores on the virtual-time-critical path.  Use ``ctx.seq_index`` /
+    ``entry.last`` for recency and the seed handed to ``bind()`` for
+    randomness.
 
 A finding on a given line is suppressed by an ``# analysis: allow(ANLxxx)``
 comment on that line.  ``docs/analysis.md`` documents how to add a rule.
@@ -121,6 +129,7 @@ RULES = {
     "ANL004": "obs event kinds must be registered constants",
     "ANL005": "no mutable default arguments",
     "ANL006": "Window/CachedWindow op methods must not inline pipeline concerns",
+    "ANL007": "cache policy classes must not use wall clock or global RNG state",
 }
 
 
@@ -394,6 +403,27 @@ def _check_pipeline_purity(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
                     )
 
 
+def _check_policy_purity(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
+    """ANL007: policy classes must stay deterministic, in any package.
+
+    ANL001/ANL002 only patrol the virtual-time packages; a cache policy
+    registered from application code runs on the same victim-scoring path,
+    so the same two bans apply to any class with a ``*Policy`` base.
+    """
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        if not any(
+            _dotted(b).rpartition(".")[2].endswith("Policy") for b in cls.bases
+        ):
+            continue
+        body = ast.Module(body=cls.body, type_ignores=[])
+        for line, _rule, msg in _check_wall_clock(body):
+            yield line, "ANL007", f"in policy class {cls.name}: {msg}"
+        for line, _rule, msg in _check_seeded_random(body):
+            yield line, "ANL007", f"in policy class {cls.name}: {msg}"
+
+
 def _check_mutable_defaults(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
     for node in ast.walk(tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -453,6 +483,9 @@ def lint_file(
         )
     )
     raw.extend(_check_pipeline_purity(tree))
+    if not _is_restricted(posix):
+        # inside the restricted packages ANL001/ANL002 already flag these
+        raw.extend(_check_policy_purity(tree))
     raw.extend(_check_mutable_defaults(tree))
 
     findings = []

@@ -50,8 +50,10 @@ class BFSRunResult:
             return {}
         return {
             k: sum(s.get(k, 0) for s in self.cache_stats)
-            for k in self.cache_stats[0]
-            if k != "schema_version"
+            for k, v in self.cache_stats[0].items()
+            # skip the schema tag and non-numeric values (e.g. the v3
+            # "policy" name) -- only counters can be summed across ranks
+            if k != "schema_version" and isinstance(v, (int, float))
         }
 
 

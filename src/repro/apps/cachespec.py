@@ -35,6 +35,9 @@ class CacheSpec:
     kind: CacheKind = CacheKind.CLAMPI
     mode: clampi.Mode = clampi.Mode.ALWAYS_CACHE
     config: clampi.Config = field(default_factory=clampi.Config)
+    #: eviction/admission policy registry name (None — defer to the
+    #: config/environment via the clampi.resolve_config precedence)
+    policy: str | None = None
     block_size: int = 1024        #: native cache block size
     memory_bytes: int = 1 * MiB   #: native cache memory
 
@@ -49,11 +52,13 @@ class CacheSpec:
         index_entries: int,
         storage_bytes: int,
         mode: clampi.Mode = clampi.Mode.ALWAYS_CACHE,
+        policy: str | None = None,
         **cfg: Any,
     ) -> "CacheSpec":
         return cls(
             kind=CacheKind.CLAMPI,
             mode=mode,
+            policy=policy,
             config=clampi.Config(
                 index_entries=index_entries,
                 storage_bytes=storage_bytes,
@@ -68,11 +73,13 @@ class CacheSpec:
         index_entries: int,
         storage_bytes: int,
         mode: clampi.Mode = clampi.Mode.ALWAYS_CACHE,
+        policy: str | None = None,
         **cfg: Any,
     ) -> "CacheSpec":
         return cls(
             kind=CacheKind.CLAMPI,
             mode=mode,
+            policy=policy,
             config=clampi.Config(
                 index_entries=index_entries,
                 storage_bytes=storage_bytes,
@@ -90,6 +97,10 @@ class CacheSpec:
     def with_mode(self, mode: clampi.Mode) -> "CacheSpec":
         return replace(self, mode=mode)
 
+    def with_policy(self, policy: str | None) -> "CacheSpec":
+        """Copy with a different eviction/admission policy name."""
+        return replace(self, policy=policy)
+
     @property
     def label(self) -> str:
         from repro.util import format_bytes
@@ -99,9 +110,10 @@ class CacheSpec:
         if self.kind is CacheKind.NATIVE:
             return f"native({format_bytes(self.memory_bytes)})"
         flavour = "adaptive" if self.config.adaptive else "fixed"
+        pol = f", {self.policy}" if self.policy else ""
         return (
             f"CLaMPI-{flavour}(|I|={self.config.index_entries}, "
-            f"|S|={self.config.storage_bytes // 1024} KiB)"
+            f"|S|={self.config.storage_bytes // 1024} KiB{pol})"
         )
 
     # --------------------------------------------------------------------
@@ -120,7 +132,9 @@ class CacheSpec:
                 raw, block_size=self.block_size, memory_bytes=self.memory_bytes
             )
         else:
-            win = clampi.wrap(raw, mode=self.mode, config=self.config)
+            win = clampi.wrap(
+                raw, mode=self.mode, config=self.config, policy=self.policy
+            )
         if recorder is not None:
             win = TracingWindow(win, recorder)
         return win

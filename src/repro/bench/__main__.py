@@ -8,6 +8,11 @@ Use ``--markdown`` to emit the EXPERIMENTS.md-style blocks instead.
 ``python -m repro.bench perfsmoke`` runs the perf smoke subset instead
 (see :mod:`repro.bench.perfsmoke`): wall/virtual times to a JSON artifact,
 optionally checked against a committed baseline.
+
+``python -m repro.bench policies`` runs the eviction/admission
+policy-matrix benchmark (see :mod:`repro.bench.policies`): every
+registered policy over the fig02-reuse, LCC and Barnes-Hut workloads,
+hit-rate + virtual-time tables to a JSON artifact.
 """
 
 from __future__ import annotations
@@ -31,6 +36,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.perfsmoke import main as perfsmoke_main
 
         return perfsmoke_main(argv[1:])
+    if argv and argv[0] == "policies":
+        from repro.bench.policies import main as policies_main
+
+        return policies_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
     )

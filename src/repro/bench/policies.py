@@ -1,0 +1,307 @@
+"""Policy-matrix benchmark: ``python -m repro.bench policies``.
+
+Runs every registered eviction/admission policy (``repro.core.policy``)
+over three workloads with deliberately tight cache sizing — so the
+victim/admission decisions, not the cache capacity, dominate the hit
+rate — and emits one hit-rate + virtual-time table per workload:
+
+* ``fig02-reuse`` — the Barnes-Hut get trace of Fig. 2 (recorded once
+  from an uncached run) replayed through a two-rank cached window: the
+  paper's headline reuse pattern, isolated from computation;
+* ``lcc`` — the LCC application on a small R-MAT graph (variable get
+  sizes, scale-free hub reuse);
+* ``bh`` — the Barnes-Hut force phase itself (USER_DEFINED epochs).
+
+The artifact (``BENCH_PR6.json``) records wall/virtual seconds and the
+hit rate per (workload, policy).  CI replays it in ``--quick`` mode
+against the committed baseline: total wall-clock must stay within the
+allowed factor, and the **default policy's virtual times must not drift
+at all** — the pluggable-policy engine is required to leave the paper's
+figures bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.apps import BarnesHutApp, LCCApp
+from repro.apps.cachespec import CacheSpec
+from repro.core.policy import DEFAULT_POLICY, available_policies
+from repro.mpi.simmpi import MPIProcess, SimMPI
+from repro.net import PerfModel
+from repro.trace import GetRecord
+from repro.util import KiB, align_up
+
+#: Wall-clock regression factor CI tolerates over the committed baseline.
+DEFAULT_MAX_REGRESSION = 2.0
+
+#: Fraction of the distinct working set the replay cache can hold —
+#: small enough that eviction/admission quality decides the hit rate
+#: (at this sizing the frequency-aware policies clearly separate from
+#: the recency-only ones on the skewed Fig. 2 reuse pattern).
+REPLAY_STORAGE_FRACTION = 0.25
+REPLAY_INDEX_ENTRIES = 256
+
+
+# ---------------------------------------------------------------------------
+# fig02-reuse: record the BH trace once, replay it per policy
+# ---------------------------------------------------------------------------
+def record_bh_trace(nbodies: int, nprocs: int = 4) -> list[GetRecord]:
+    """The Fig. 2 get trace: every remote get of an uncached BH run."""
+    app = BarnesHutApp(nbodies=nbodies, seed=11)
+    run = app.run(nprocs, CacheSpec.fompi(), trace=True)
+    return [r for t in run.traces for r in t.records]
+
+
+def _flatten_trace(
+    records: list[GetRecord],
+) -> tuple[list[tuple[int, int]], int]:
+    """Map (trg, dsp) identities onto one target rank's address space.
+
+    Each source rank gets a disjoint, aligned base offset so distinct
+    (trg, dsp) keys stay distinct after the collapse onto rank 1.
+    Returns ``[(dsp, size), ...]`` plus the window size that fits them.
+    """
+    span: dict[int, int] = {}
+    for r in records:
+        span[r.trg] = max(span.get(r.trg, 0), r.dsp + r.size)
+    base: dict[int, int] = {}
+    offset = 0
+    for trg in sorted(span):
+        base[trg] = offset
+        offset += align_up(span[trg])
+    return [(base[r.trg] + r.dsp, r.size) for r in records], max(offset, 1)
+
+
+def _replay_program(
+    mpi: MPIProcess,
+    gets: list[tuple[int, int]],
+    window_bytes: int,
+    spec: CacheSpec,
+):
+    local = np.zeros(window_bytes, dtype=np.uint8)
+    if mpi.rank == 1:
+        local[:] = (np.arange(window_bytes) % 251).astype(np.uint8)
+    win = spec.make_window(mpi.comm_world, local)
+    mpi.comm_world.barrier()
+    if mpi.rank == 1:
+        return None
+    bufs = {s: np.empty(s, np.uint8) for _, s in gets}
+    win.lock_all()
+    for dsp, size in gets:
+        buf = bufs[size]
+        win.get(buf, 1, dsp)
+        win.flush(1)
+        expected = (np.arange(dsp, dsp + size) % 251).astype(np.uint8)
+        if not np.array_equal(buf, expected):
+            raise AssertionError(f"replay returned wrong data at dsp={dsp}")
+    win.unlock_all()
+    return win.stats.snapshot()
+
+
+def replay_trace(records: list[GetRecord], policy: str) -> dict[str, Any]:
+    """Replay the trace through a tight two-rank cache under ``policy``."""
+    gets, window_bytes = _flatten_trace(records)
+    distinct_bytes = sum(
+        size for (dsp, size) in dict.fromkeys(gets)  # first occurrence per key
+    )
+    spec = CacheSpec.clampi_fixed(
+        REPLAY_INDEX_ENTRIES,
+        max(int(distinct_bytes * REPLAY_STORAGE_FRACTION), 2 * KiB),
+        policy=policy,
+    )
+    mpi = SimMPI(nprocs=2, perf=PerfModel.spread(2))
+    results = mpi.run(_replay_program, gets, window_bytes, spec)
+    return results[0]
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+def _hit_rate(stats: dict[str, Any]) -> float:
+    gets = stats.get("gets", 0)
+    hits = (
+        stats.get("hit_full", 0)
+        + stats.get("hit_partial", 0)
+        + stats.get("hit_pending", 0)
+    )
+    return hits / gets if gets else 0.0
+
+
+def run_policy_matrix(quick: bool = False) -> dict[str, Any]:
+    """Run every registered policy over the three workloads.
+
+    Returns the artifact dict: per (workload, policy) wall seconds,
+    virtual seconds, hit rate and admission rejects.
+    """
+    nbodies = 150 if quick else 400
+    lcc_scale = 7 if quick else 8
+    policies = available_policies()
+
+    bh_trace = record_bh_trace(nbodies)
+    lcc_app = LCCApp(scale=lcc_scale, edge_factor=8, seed=5)
+    bh_app = BarnesHutApp(nbodies=nbodies, seed=11)
+    # Tight app-run caches: a fraction of what the generous figure specs
+    # use, so policy quality shows up as hit-rate spread.
+    lcc_spec_of = lambda pol: CacheSpec.clampi_fixed(  # noqa: E731
+        1 << 7, lcc_app.csr.nedges * 2, policy=pol
+    )
+    bh_spec_of = lambda pol: CacheSpec.clampi_fixed(  # noqa: E731
+        1 << 7, max(nbodies * 48, 2 * KiB), policy=pol
+    )
+
+    workloads: dict[str, dict[str, dict[str, float]]] = {}
+
+    def note(workload: str, policy: str, stats: dict, wall: float, virt: float):
+        workloads.setdefault(workload, {})[policy] = {
+            "wall_s": round(wall, 4),
+            "virtual_s": virt,
+            "hit_rate": round(_hit_rate(stats), 6),
+            "admission_rejects": int(stats.get("admission_rejects", 0)),
+        }
+
+    for pol in policies:
+        v0, t0 = obs.virtual_time.total, time.perf_counter()
+        stats = replay_trace(bh_trace, pol)
+        note(
+            "fig02-reuse", pol, stats,
+            time.perf_counter() - t0, obs.virtual_time.total - v0,
+        )
+
+        v0, t0 = obs.virtual_time.total, time.perf_counter()
+        run = lcc_app.run(4, lcc_spec_of(pol))
+        note(
+            "lcc", pol, run.merged_stats(),
+            time.perf_counter() - t0, obs.virtual_time.total - v0,
+        )
+
+        v0, t0 = obs.virtual_time.total, time.perf_counter()
+        run = bh_app.run(4, bh_spec_of(pol))
+        note(
+            "bh", pol, run.merged_stats(),
+            time.perf_counter() - t0, obs.virtual_time.total - v0,
+        )
+
+    total = round(
+        sum(e["wall_s"] for w in workloads.values() for e in w.values()), 4
+    )
+    return {
+        "quick": quick,
+        "default_policy": DEFAULT_POLICY,
+        "workloads": workloads,
+        "total_wall_s": total,
+    }
+
+
+def render_tables(result: dict[str, Any]) -> str:
+    """Per-workload hit-rate + virtual-time tables (terminal-friendly)."""
+    lines: list[str] = []
+    for workload, per_policy in result["workloads"].items():
+        lines.append(f"== {workload} ==")
+        lines.append(
+            f"{'policy':16s} {'hit rate':>10s} {'virtual s':>14s} "
+            f"{'wall s':>8s} {'adm.rej':>8s}"
+        )
+        best = max(per_policy, key=lambda p: per_policy[p]["hit_rate"])
+        for pol, e in sorted(per_policy.items()):
+            mark = " *" if pol == best else ""
+            lines.append(
+                f"{pol:16s} {e['hit_rate']:10.4f} {e['virtual_s']:14.6e} "
+                f"{e['wall_s']:8.3f} {e['admission_rejects']:8d}{mark}"
+            )
+        lines.append("")
+    lines.append(f"total wall: {result['total_wall_s']:.3f}s")
+    return "\n".join(lines)
+
+
+def check_regression(
+    result: dict[str, Any],
+    baseline_path: Path,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Compare against a committed baseline; returns failure messages.
+
+    Wall-clock may grow up to ``max_regression`` times the baseline
+    total; the *default* policy's virtual times must match the baseline
+    exactly (the policy engine must not perturb the paper's figures).
+    """
+    baseline = json.loads(baseline_path.read_text())
+    problems: list[str] = []
+    if baseline.get("quick") != result.get("quick"):
+        return [
+            "baseline was generated at a different scale "
+            f"(quick={baseline.get('quick')!r} vs {result.get('quick')!r})"
+        ]
+    base_total = baseline.get("total_wall_s")
+    if base_total and result["total_wall_s"] > max_regression * base_total:
+        problems.append(
+            f"total wall-clock {result['total_wall_s']:.2f}s exceeds "
+            f"{max_regression:.1f}x the baseline {base_total:.2f}s"
+        )
+    default = result.get("default_policy", DEFAULT_POLICY)
+    for workload, per_policy in result["workloads"].items():
+        entry = per_policy.get(default)
+        base = baseline.get("workloads", {}).get(workload, {}).get(default)
+        if entry is None or base is None:
+            continue
+        if entry["virtual_s"] != base["virtual_s"]:
+            problems.append(
+                f"{workload}/{default}: virtual time drifted from the "
+                f"baseline ({entry['virtual_s']!r} != {base['virtual_s']!r}); "
+                "the default policy must keep figures bit-identical"
+            )
+        if entry["hit_rate"] != base["hit_rate"]:
+            problems.append(
+                f"{workload}/{default}: hit rate drifted from the baseline "
+                f"({entry['hit_rate']!r} != {base['hit_rate']!r})"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench policies",
+        description="policy-matrix benchmark; writes a JSON artifact",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR6.json", help="artifact path to write"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced scale for CI"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline JSON to compare against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="fail if total wall-clock exceeds this factor over the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_policy_matrix(quick=args.quick)
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(render_tables(result))
+    print(f"-> {args.out}")
+
+    if args.baseline:
+        problems = check_regression(
+            result, Path(args.baseline), args.max_regression
+        )
+        if problems:
+            for p in problems:
+                print(f"POLICIES FAIL: {p}")
+            return 1
+        print(f"within {args.max_regression:.1f}x of baseline {args.baseline}")
+    return 0

@@ -23,6 +23,22 @@ the single place that arbitrates them.  Highest priority first:
 3. ``config.mode`` — whatever the explicit :class:`Config` carries;
 4. the :class:`Config` default (``TRANSPARENT``).
 
+The eviction/admission **policy** resolves through the same funnel, by
+:mod:`repro.core.policy` registry name.  Highest priority first:
+
+1. ``info["clampi_policy"]`` — per-window info key (:data:`INFO_POLICY_KEY`);
+2. the ``policy=`` keyword on :func:`window_allocate` / :func:`window_create`
+   / :func:`wrap`;
+3. ``config.policy`` — an explicit, non-default :class:`Config` value;
+4. the ``CLAMPI_POLICY`` environment variable (:data:`ENV_POLICY_VAR`) —
+   the channel of last resort, consulted **only** when every channel above
+   left the policy at the default;
+5. the registry default (``"clampi-full"``, the paper's score policy).
+
+Any channel accepts a registry name (``"lru"``, ``"gdsf"``, ...), a name
+registered at runtime via :func:`register`, or — deprecated — an
+:class:`EvictionPolicy` enum value.
+
 Example (user-defined mode, paper Listing 1)::
 
     win = clampi.window_allocate(comm, nbytes, mode=clampi.Mode.USER_DEFINED)
@@ -41,12 +57,30 @@ through the :mod:`repro.obs` subsystem.
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.config import INFO_MODE_KEY, AdaptiveParams, Config, EvictionPolicy, Mode
+from repro.core.config import (
+    ENV_POLICY_VAR,
+    INFO_MODE_KEY,
+    INFO_POLICY_KEY,
+    AdaptiveParams,
+    Config,
+    EvictionPolicy,
+    Mode,
+)
+from repro.core.policy import (
+    DEFAULT_POLICY,
+    CachePolicy,
+    PolicyContext,
+    available_policies,
+    canonical_policy_name,
+    make_policy,
+    register,
+)
 from repro.core.stats import SCHEMA_VERSION, AccessType, CacheStats
 from repro.core.window import CachedWindow
 from repro.mpi.comm import Communicator
@@ -55,16 +89,25 @@ from repro.mpi.window import Window
 __all__ = [
     "AccessType",
     "AdaptiveParams",
+    "CachePolicy",
     "CacheStats",
     "CachedWindow",
     "Config",
+    "DEFAULT_POLICY",
+    "ENV_POLICY_VAR",
     "EvictionPolicy",
     "INFO_MODE_KEY",
+    "INFO_POLICY_KEY",
     "Mode",
+    "PolicyContext",
     "SCHEMA_VERSION",
+    "available_policies",
+    "canonical_policy_name",
     "configure",
     "degraded",
     "invalidate",
+    "make_policy",
+    "register",
     "resolve_config",
     "stats",
     "window_allocate",
@@ -77,20 +120,44 @@ def resolve_config(
     config: Config | None = None,
     mode: Mode | None = None,
     info: Mapping[str, Any] | None = None,
+    policy: str | EvictionPolicy | None = None,
 ) -> Config:
-    """Resolve the effective :class:`Config` from the three mode channels.
+    """Resolve the effective :class:`Config` from every facade channel.
 
-    Precedence (highest wins): ``info["clampi_mode"]`` > ``mode=`` >
-    ``config.mode`` > the :class:`Config` default.  This is the one place
-    the precedence lives; every facade entry point delegates here.
+    Mode precedence (highest wins): ``info["clampi_mode"]`` > ``mode=`` >
+    ``config.mode`` > the :class:`Config` default.
+
+    Policy precedence (highest wins): ``info["clampi_policy"]`` >
+    ``policy=`` > a non-default ``config.policy`` > the ``CLAMPI_POLICY``
+    environment variable > the registry default (``"clampi-full"``).  The
+    environment variable is a channel of *last resort*: it is consulted
+    only when neither the info key, the keyword nor the config named a
+    non-default policy, so a program that pins a specific policy can
+    never be perturbed by the environment.
+
+    This is the one place the precedence lives; every facade entry point
+    delegates here.
     """
     cfg = config or Config()
     if mode is not None:
         cfg = replace(cfg, mode=mode)
+    if policy is not None:
+        cfg = replace(cfg, policy=canonical_policy_name(policy))
     if info is not None:
         info_mode = info.get(INFO_MODE_KEY)
         if info_mode is not None:
             cfg = replace(cfg, mode=Mode(info_mode))
+        info_policy = info.get(INFO_POLICY_KEY)
+        if info_policy is not None:
+            cfg = replace(cfg, policy=canonical_policy_name(info_policy))
+    if (
+        cfg.policy == DEFAULT_POLICY
+        and policy is None
+        and (info is None or info.get(INFO_POLICY_KEY) is None)
+    ):
+        env_policy = os.environ.get(ENV_POLICY_VAR)
+        if env_policy:
+            cfg = replace(cfg, policy=canonical_policy_name(env_policy))
     return cfg
 
 
@@ -112,14 +179,17 @@ def window_allocate(
     mode: Mode | None = None,
     config: Config | None = None,
     info: Mapping[str, Any] | None = None,
+    policy: str | EvictionPolicy | None = None,
 ) -> CachedWindow:
     """Collectively allocate a caching-enabled window.
 
-    Mode precedence follows :func:`resolve_config`:
-    ``info["clampi_mode"]`` > ``mode=`` > ``config.mode``.
+    Mode and policy precedence follow :func:`resolve_config`:
+    ``info["clampi_mode"]`` > ``mode=`` > ``config.mode``, and
+    ``info["clampi_policy"]`` > ``policy=`` > ``config.policy`` >
+    ``CLAMPI_POLICY``.
     """
     win = Window.allocate(comm, nbytes, disp_unit=disp_unit, info=info)
-    return CachedWindow(win, resolve_config(config, mode, info))
+    return CachedWindow(win, resolve_config(config, mode, info, policy))
 
 
 def window_create(
@@ -129,24 +199,28 @@ def window_create(
     mode: Mode | None = None,
     config: Config | None = None,
     info: Mapping[str, Any] | None = None,
+    policy: str | EvictionPolicy | None = None,
 ) -> CachedWindow:
     """Collectively cache-enable a window over an existing local buffer.
 
-    Mode precedence follows :func:`resolve_config`.
+    Mode and policy precedence follow :func:`resolve_config`.
     """
     win = Window.create(comm, buffer, disp_unit=disp_unit, info=info)
-    return CachedWindow(win, resolve_config(config, mode, info))
+    return CachedWindow(win, resolve_config(config, mode, info, policy))
 
 
 def wrap(
-    window: Window, mode: Mode | None = None, config: Config | None = None
+    window: Window,
+    mode: Mode | None = None,
+    config: Config | None = None,
+    policy: str | EvictionPolicy | None = None,
 ) -> CachedWindow:
     """Cache-enable an already-created plain window (local operation).
 
-    The window's creation-time info dict participates in the mode
-    resolution exactly as in :func:`window_allocate`.
+    The window's creation-time info dict participates in the mode and
+    policy resolution exactly as in :func:`window_allocate`.
     """
-    return CachedWindow(window, resolve_config(config, mode, window.info))
+    return CachedWindow(window, resolve_config(config, mode, window.info, policy))
 
 
 def invalidate(window: CachedWindow) -> None:

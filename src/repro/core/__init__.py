@@ -11,7 +11,9 @@ Subpackage map (paper section in brackets):
   bookkeeping (Sec. III-C2/3, Fig. 6).
 * :mod:`repro.core.scores` — positional/temporal/full entry scores
   (Sec. III-C2, III-D1).
-* :mod:`repro.core.eviction` — victim selection (Sec. III-D).
+* :mod:`repro.core.policy` — pluggable eviction/admission policies and
+  the name registry (the paper's score engine is the default policy).
+* :mod:`repro.core.eviction` — victim selection mechanism (Sec. III-D).
 * :mod:`repro.core.adaptive` — runtime parameter tuning (Sec. III-E).
 * :mod:`repro.core.stats` — access-type accounting (Figs. 13/16/18).
 * :mod:`repro.core.costmodel` — virtual-time charges for cache management.
@@ -22,16 +24,19 @@ The user-facing facade lives in :mod:`repro.clampi`.
 """
 
 from repro.core.config import Config, EvictionPolicy, Mode
+from repro.core.policy import CachePolicy, PolicyContext
 from repro.core.stats import AccessType, CacheStats
 from repro.core.states import EntryState
 from repro.core.window import CachedWindow
 
 __all__ = [
     "AccessType",
+    "CachePolicy",
     "CacheStats",
     "CachedWindow",
     "Config",
     "EntryState",
     "EvictionPolicy",
     "Mode",
+    "PolicyContext",
 ]

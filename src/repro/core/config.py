@@ -11,9 +11,14 @@
   read-only phases and calls ``invalidate()`` (CLAMPI_Invalidate) when a
   phase ends (e.g. Barnes-Hut between force-computation steps).
 
-``EvictionPolicy`` selects the victim score of Sec. III-D1: the full
-``R = R_P x R_T`` (default), or the single-factor ``TEMPORAL`` (LRU-like) /
-``POSITIONAL`` ablations evaluated in Figs. 10 and 11.
+``Config.policy`` names an eviction/admission policy from the
+:mod:`repro.core.policy` registry (``"clampi-full"`` — the paper's
+``R = R_P x R_T`` score — by default; ``"lru"``, ``"slru"``, ``"gdsf"``,
+``"tinylfu"`` and any user-registered policy are selectable the same
+way).  The legacy ``EvictionPolicy`` enum values are still accepted as
+deprecated aliases (``FULL`` → ``"clampi-full"``, ``TEMPORAL`` →
+``"clampi-temporal"``, ``POSITIONAL`` → ``"clampi-positional"`` — the
+Figs. 10/11 ablations).
 """
 
 from __future__ import annotations
@@ -26,6 +31,13 @@ from repro.util import KiB, MiB
 #: MPI_Info key used to enable caching at window creation (Sec. III-A).
 INFO_MODE_KEY = "clampi_mode"
 
+#: MPI_Info key selecting the eviction/admission policy by registry name.
+INFO_POLICY_KEY = "clampi_policy"
+
+#: Environment variable selecting the default policy (facade channel of
+#: last resort; see ``clampi.resolve_config`` for the full precedence).
+ENV_POLICY_VAR = "CLAMPI_POLICY"
+
 
 class Mode(Enum):
     TRANSPARENT = "transparent"
@@ -34,9 +46,16 @@ class Mode(Enum):
 
 
 class EvictionPolicy(Enum):
-    FULL = "full"              #: R = R_P * R_T (paper default)
-    TEMPORAL = "temporal"      #: LRU-like, R = R_T
-    POSITIONAL = "positional"  #: fragmentation-only, R = R_P
+    """Deprecated aliases for the three paper score policies.
+
+    Kept so existing code and the Figs. 10/11 ablations keep working;
+    each value resolves to the registry policy of the same score.  New
+    code should pass the registry name string instead.
+    """
+
+    FULL = "full"              #: alias of "clampi-full" (paper default)
+    TEMPORAL = "temporal"      #: alias of "clampi-temporal" (LRU-like)
+    POSITIONAL = "positional"  #: alias of "clampi-positional"
 
 
 @dataclass(frozen=True)
@@ -89,7 +108,10 @@ class Config:
     index_entries: int = 4096
     storage_bytes: int = 4 * MiB
     mode: Mode = Mode.TRANSPARENT
-    policy: EvictionPolicy = EvictionPolicy.FULL
+    #: eviction/admission policy, by repro.core.policy registry name
+    #: (EvictionPolicy enum values are accepted as deprecated aliases and
+    #: normalised to their registry name here)
+    policy: str | EvictionPolicy = "clampi-full"
     adaptive: bool = False
     adaptive_params: AdaptiveParams = AdaptiveParams()
     sample_size: int = 16        #: M, victim-sample size (Sec. III-D)
@@ -106,6 +128,13 @@ class Config:
     quarantine_probe_interval: int = 512
 
     def __post_init__(self) -> None:
+        # Normalise the policy spec (name / legacy alias / enum) to its
+        # registry name so downstream consumers and snapshots see one
+        # canonical spelling.  Imported lazily: repro.core.policy imports
+        # this module for the EvictionPolicy aliases.
+        from repro.core.policy import canonical_policy_name
+
+        object.__setattr__(self, "policy", canonical_policy_name(self.policy))
         if self.index_entries < 1:
             raise ValueError("index_entries must be >= 1")
         if self.storage_bytes < 1:

@@ -16,17 +16,27 @@ Only CACHED entries are evictable: a PENDING entry's payload is not in
 The eviction engine reports how many slots it visited and how many of them
 were non-empty — the sparsity signal ``q`` consumed by the adaptive
 controller (Sec. III-E1) and plotted in Fig. 11.
+
+Since the policy redesign the engine is pure *mechanism*: sampling walks,
+insertion-path scans and the RNG stream live here, while scoring and
+admission decisions are delegated to a pluggable
+:class:`repro.core.policy.CachePolicy`.  The victim sample's randomness
+comes from a **per-engine seeded stream** (``Random(seed)``, one instance
+per window/engine, never the module-level RNG), so two caching-enabled
+windows in one run can never perturb each other's eviction choices and a
+given seed always replays the same eviction trace.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.config import EvictionPolicy
 from repro.core.cuckoo import CuckooIndex
 from repro.core.entry import CacheEntry
-from repro.core.scores import full_score, positional_score, temporal_score
+from repro.core.policy import CachePolicy, PolicyContext, make_policy
 from repro.core.states import EntryState
 from repro.core.storage import Storage
 
@@ -38,34 +48,88 @@ class SampleResult:
     victim: CacheEntry | None
     visited: int      #: total slots visited (v_i = max(M, k_i) in the paper)
     nonempty: int     #: slots holding any entry
+    score: float = float("inf")  #: the victim's score under the policy
 
 
 class EvictionEngine:
-    """Scores entries and selects victims for one caching layer."""
+    """Samples candidates and applies one policy's scores/decisions.
+
+    ``policy`` may be a :class:`~repro.core.policy.CachePolicy` instance,
+    a registry name, or (deprecated) an :class:`EvictionPolicy` enum
+    value.  ``miss_cost`` — when the engine serves a window — estimates
+    the virtual-time refetch penalty of an entry for cost-aware policies.
+    """
 
     def __init__(
         self,
         index: CuckooIndex,
         storage: Storage,
-        policy: EvictionPolicy,
+        policy: CachePolicy | str | EvictionPolicy,
         sample_size: int,
         seed: int = 0,
+        miss_cost: Callable[[CacheEntry], float] | None = None,
     ):
         self.index = index
         self.storage = storage
+        if not isinstance(policy, CachePolicy):
+            policy = make_policy(policy, seed=seed)
         self.policy = policy
+        policy.bind(index.capacity, seed)
         self.sample_size = sample_size
+        self.miss_cost = miss_cost
+        #: per-engine seeded stream — one independent RNG per window
         self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------
+    def _ctx(
+        self, seq_index: int, avg_get_size: float, entry: CacheEntry | None = None
+    ) -> PolicyContext:
+        d_c = (
+            self.storage.adjacent_free(entry.desc)
+            if entry is not None and entry.desc
+            else 0
+        )
+        return PolicyContext(
+            seq_index=seq_index,
+            avg_get_size=avg_get_size,
+            adjacent_free=d_c,
+            miss_cost=self.miss_cost,
+        )
+
     def score(self, entry: CacheEntry, seq_index: int, avg_get_size: float) -> float:
         """Entry score under the configured policy (lower = better victim)."""
-        if self.policy is EvictionPolicy.TEMPORAL:
-            return temporal_score(entry.last, seq_index)
-        d_c = self.storage.adjacent_free(entry.desc) if entry.desc else 0
-        if self.policy is EvictionPolicy.POSITIONAL:
-            return positional_score(avg_get_size, d_c)
-        return full_score(avg_get_size, d_c, entry.last, seq_index)
+        return self.policy.victim_score(
+            entry, self._ctx(seq_index, avg_get_size, entry)
+        )
+
+    # -- policy observation forwarding ---------------------------------
+    def notify_hit(
+        self, entry: CacheEntry, seq_index: int, avg_get_size: float
+    ) -> None:
+        self.policy.on_hit(entry, self._ctx(seq_index, avg_get_size, entry))
+
+    def notify_miss(
+        self,
+        key: tuple[int, int],
+        nbytes: int,
+        seq_index: int,
+        avg_get_size: float,
+    ) -> None:
+        self.policy.on_miss(key, nbytes, self._ctx(seq_index, avg_get_size))
+
+    def notify_insert(
+        self, entry: CacheEntry, seq_index: int, avg_get_size: float
+    ) -> None:
+        self.policy.on_insert(entry, self._ctx(seq_index, avg_get_size, entry))
+
+    def notify_free(self, entry: CacheEntry, reason: str) -> None:
+        self.policy.on_free(entry, reason)
+
+    def admit(
+        self, entry: CacheEntry, seq_index: int, avg_get_size: float
+    ) -> bool:
+        """Admission decision for a miss (before any index/storage work)."""
+        return self.policy.admit(entry, self._ctx(seq_index, avg_get_size))
 
     # ------------------------------------------------------------------
     def sample_capacity_victim(
@@ -103,7 +167,7 @@ class EvictionEngine:
             # victim; the access then fails (weak caching).
             if visited >= self.sample_size and nonempty > 0:
                 break
-        return SampleResult(best, visited, nonempty)
+        return SampleResult(best, visited, nonempty, best_score)
 
     def select_conflict_victim(
         self,

@@ -27,7 +27,10 @@ from enum import Enum
 #: dashboards, the obs report CLI) can detect incompatible dumps.
 #: v2: added the resilience counters (faults_injected, retries,
 #: storage_faults, degraded_gets, quarantines).
-SCHEMA_VERSION = 2
+#: v3: added the resolved eviction/admission policy name (``policy``, a
+#: string — the one non-numeric snapshot value besides schema_version)
+#: and the ``admission_rejects`` counter.
+SCHEMA_VERSION = 3
 
 
 class AccessType(Enum):
@@ -67,6 +70,8 @@ class Counters:
     storage_faults: int = 0         #: injected S_w allocation failures
     degraded_gets: int = 0          #: gets served direct while quarantined
     quarantines: int = 0            #: times the cache self-disabled
+    # -- policy counters (schema v3) ------------------------------------
+    admission_rejects: int = 0      #: misses the admission policy refused
 
     def record_access(self, access: AccessType) -> None:
         self.gets += 1
@@ -113,6 +118,9 @@ class CacheStats:
     interval: Counters = field(default_factory=Counters)
     #: classification of the most recent get (handy for per-get benchmarks)
     last_access: AccessType | None = None
+    #: resolved eviction/admission policy name (schema v3; set by the
+    #: owning CachedWindow, None for standalone CacheStats instances)
+    policy: str | None = None
 
     def record_access(self, access: AccessType) -> None:
         self.total.record_access(access)
@@ -157,6 +165,10 @@ class CacheStats:
         self.total.quarantines += 1
         self.interval.quarantines += 1
 
+    def record_admission_reject(self) -> None:
+        self.total.admission_rejects += 1
+        self.interval.admission_rejects += 1
+
     def record_cache_bytes(self, nbytes: int) -> None:
         self.total.bytes_from_cache += nbytes
         self.interval.bytes_from_cache += nbytes
@@ -168,14 +180,20 @@ class CacheStats:
     def reset_interval(self) -> None:
         self.interval.reset()
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, int | str]:
         """Cumulative counters as a plain dict (cheap to gather/compare).
 
         The dict carries a ``schema_version`` key (see
         :data:`SCHEMA_VERSION`) alongside the raw counters; the counter
         names are stable across releases within one schema version.
+        Since v3 it also carries ``policy`` — the resolved
+        eviction/admission policy name ("" when unattached).
         """
-        return {"schema_version": SCHEMA_VERSION, **self.total.as_dict()}
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "policy": self.policy or "",
+            **self.total.as_dict(),
+        }
 
     def breakdown(self) -> dict[str, float]:
         """Fig. 13/16/18-style normalised access breakdown.

@@ -46,11 +46,12 @@ from typing import Any, Iterator, Mapping
 import numpy as np
 
 from repro.core.adaptive import AdaptiveController, Adjustment
-from repro.core.config import INFO_MODE_KEY, Config, Mode
+from repro.core.config import INFO_MODE_KEY, INFO_POLICY_KEY, Config, Mode
 from repro.core.costmodel import CostModel
 from repro.core.cuckoo import CuckooIndex, InsertResult
 from repro.core.entry import CacheEntry
 from repro.core.eviction import EvictionEngine
+from repro.core.policy import canonical_policy_name, make_policy
 from repro.core.states import EntryState
 from repro.core.stats import AccessType, CacheStats
 from repro.core.storage import Storage
@@ -61,6 +62,7 @@ from repro.mpi.window import Window
 from repro.obs import (
     CACHE_ACCESS,
     CACHE_ADAPT,
+    CACHE_ADMIT,
     CACHE_DEGRADED,
     CACHE_EPOCH,
     CACHE_EVICT,
@@ -90,9 +92,14 @@ class CachedWindow:
         info_mode = window.info.get(INFO_MODE_KEY)
         if info_mode is not None:
             cfg = _replace_mode(cfg, Mode(info_mode))
+        info_policy = window.info.get(INFO_POLICY_KEY)
+        if info_policy is not None:
+            cfg = _replace_policy(cfg, info_policy)
         self.config = cfg
         self.mode = cfg.mode
-        self.stats = CacheStats()
+        #: resolved registry name of the eviction/admission policy
+        self.policy_name = canonical_policy_name(cfg.policy)
+        self.stats = CacheStats(policy=self.policy_name)
         self.cost = CostModel(
             memory=window.comm.perf.memory, sink=window.comm.proc.advance
         )
@@ -212,12 +219,17 @@ class CachedWindow:
             fit=cfg.allocator_fit,
             fault_hook=injector.storage_hook if injector is not None else None,
         )
+        perf = self._win.comm.perf
+        rank = self._win.comm.rank
         self._evictor = EvictionEngine(
             self._index,
             self._storage,
-            cfg.policy,
+            make_policy(self.policy_name, seed=cfg.seed + 1),
             cfg.sample_size,
             seed=cfg.seed + 1,
+            # cost-aware policies weigh victims by the virtual-time miss
+            # penalty of refetching them from their home rank
+            miss_cost=lambda e: perf.get_time(rank, e.trg, e.size),
         )
 
     # ------------------------------------------------------------------
@@ -459,6 +471,7 @@ class CachedWindow:
         self, entry: CacheEntry, origin: np.ndarray, size: int
     ) -> int:
         entry.last = self._seq
+        self._evictor.notify_hit(entry, self._seq, self.avg_get_size)
         obuf = Window._origin_bytes(origin)
         if entry.state is EntryState.CACHED:
             obuf[:size] = self._storage.read(entry.desc, size)
@@ -476,6 +489,7 @@ class CachedWindow:
         """Partial hit: refetch everything; extend the entry if space allows."""
         origin, dtype, count, size = req.origin, req.dtype, req.count, req.size
         entry.last = self._seq
+        self._evictor.notify_hit(entry, self._seq, self.avg_get_size)
         self.stats.record_access(AccessType.HIT_PARTIAL)
         nbytes = self._raw_get(req)
         self.stats.record_network_bytes(nbytes)
@@ -506,11 +520,30 @@ class CachedWindow:
 
         entry = CacheEntry(req.target, req.disp, dtype, count)
         entry.last = self._seq
+        self._evictor.notify_miss(entry.key, size, self._seq, self.avg_get_size)
 
         # Oversized requests can never be stored: fail fast, no eviction
         # storm for a sporadically accessed big segment (Sec. III-D2).
         if size > self._storage.capacity:
             self.stats.record_access(AccessType.FAILING)
+            return nbytes
+
+        # Admission gate: a policy may refuse to cache this miss before
+        # any index/storage work is spent on it (e.g. TinyLFU rejecting
+        # one-hit wonders).  A rejected miss behaves like a failing
+        # access: the data was already fetched, nothing is cached.
+        if not self._evictor.admit(entry, self._seq, self.avg_get_size):
+            self.stats.record_access(AccessType.FAILING)
+            self.stats.record_admission_reject()
+            if self.obs.enabled:
+                self._emit(
+                    CACHE_ADMIT,
+                    admitted=False,
+                    policy=self.policy_name,
+                    target=req.target,
+                    disp=req.disp,
+                    nbytes=size,
+                )
             return nbytes
 
         res = self._index.insert(entry)
@@ -532,6 +565,7 @@ class CachedWindow:
         entry.pending_source = Window._origin_bytes(origin)[:size]
         self._pending.append(entry)
         self.cost.descriptor_updates(1)
+        self._evictor.notify_insert(entry, self._seq, self.avg_get_size)
 
         if conflicted:
             self.stats.record_access(AccessType.CONFLICTING)
@@ -585,7 +619,11 @@ class CachedWindow:
             )
             if self.obs.enabled:
                 self._emit(
-                    CACHE_EVICT, reason="capacity", visited=sample.visited
+                    CACHE_EVICT,
+                    reason="capacity",
+                    visited=sample.visited,
+                    policy=self.policy_name,
+                    score=sample.score,
                 )
             self._evict(sample.victim)
             evicted_any = True
@@ -600,9 +638,11 @@ class CachedWindow:
         self._index.remove(entry)
         self._release_tracked(entry)
         entry.transition(EntryState.MISSING)
+        self._evictor.notify_free(entry, "evicted")
 
     def _drop_entry(self, entry: CacheEntry) -> None:
         """Remove an entry wherever it is (index, storage, pending list)."""
+        self._evictor.notify_free(entry, "dropped")
         if entry.slot >= 0:
             self._index.remove(entry)
         if entry.state is EntryState.PENDING:
@@ -638,7 +678,15 @@ class CachedWindow:
                 return homeless is not entry
             self.stats.record_eviction(0, 0, conflict=True)
             if self.obs.enabled:
-                self._emit(CACHE_EVICT, reason="conflict", visited=0)
+                self._emit(
+                    CACHE_EVICT,
+                    reason="conflict",
+                    visited=0,
+                    policy=self.policy_name,
+                    score=self._evictor.score(
+                        victim, self._seq, self.avg_get_size
+                    ),
+                )
             if victim is homeless:
                 # Already out of the table; just release its resources.
                 self._drop_entry(victim)
@@ -745,6 +793,7 @@ class CachedWindow:
                 if e.desc is not None:
                     self._release_tracked(e)
                 e.transition(EntryState.MISSING)
+                self._evictor.notify_free(e, "dropped")
             else:
                 assert e.pending_source is not None and e.desc is not None
                 self._storage.write(e.desc, e.pending_source[: e.size])
@@ -886,3 +935,9 @@ def _replace_mode(cfg: Config, mode: Mode) -> Config:
     from dataclasses import replace
 
     return replace(cfg, mode=mode)
+
+
+def _replace_policy(cfg: Config, policy: str) -> Config:
+    from dataclasses import replace
+
+    return replace(cfg, policy=policy)

@@ -73,11 +73,15 @@ def default_retry() -> RetryPolicy:
 
 
 def merge_stats(per_rank: list[dict]) -> dict[str, float]:
-    """Sum per-rank snapshot counters (dropping the schema tag)."""
+    """Sum per-rank snapshot counters (dropping the schema tag).
+
+    Non-numeric snapshot values (the v3 ``policy`` name) are skipped —
+    only counters can be summed across ranks.
+    """
     merged: dict[str, float] = {}
     for snap in per_rank:
         for k, v in snap.items():
-            if k != "schema_version":
+            if k != "schema_version" and isinstance(v, (int, float)):
                 merged[k] = merged.get(k, 0) + v
     return merged
 

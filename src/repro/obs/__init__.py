@@ -41,6 +41,7 @@ from repro.obs.events import (
     CACHE_ACCESS,
     CACHE_ACCESS_BATCH,
     CACHE_ADAPT,
+    CACHE_ADMIT,
     CACHE_DEGRADED,
     CACHE_EPOCH,
     CACHE_EVICT,
@@ -68,6 +69,7 @@ __all__ = [
     "CACHE_ACCESS",
     "CACHE_ACCESS_BATCH",
     "CACHE_ADAPT",
+    "CACHE_ADMIT",
     "CACHE_DEGRADED",
     "CACHE_EPOCH",
     "CACHE_EVICT",

@@ -40,6 +40,7 @@ SCHED_SWITCH = "sched.switch"        #: the scheduler dispatched another rank
 CACHE_ACCESS = "cache.access"        #: one classified get_c (hit/miss/...)
 CACHE_ACCESS_BATCH = "cache.access_batch"  #: one accounting pass for a get_batch
 CACHE_EVICT = "cache.evict"          #: a cache entry was evicted
+CACHE_ADMIT = "cache.admit"          #: the admission policy ruled on a miss
 CACHE_INVALIDATE = "cache.invalidate"  #: the cache content was dropped
 CACHE_ADAPT = "cache.adapt"          #: the adaptive controller resized C_w
 CACHE_EPOCH = "cache.epoch"          #: per-epoch-closure stats sample
@@ -65,6 +66,7 @@ ALL_KINDS = frozenset(
         CACHE_ACCESS,
         CACHE_ACCESS_BATCH,
         CACHE_EVICT,
+        CACHE_ADMIT,
         CACHE_INVALIDATE,
         CACHE_ADAPT,
         CACHE_EPOCH,

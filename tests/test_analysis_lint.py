@@ -262,6 +262,76 @@ class TestPipelinePurity:
         assert findings == []
 
 
+class TestPolicyPurity:
+    def test_wall_clock_in_policy_class_flagged_anywhere(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/custom.py",
+            """
+            import time
+            class HotPolicy(CachePolicy):
+                def victim_score(self, entry, ctx):
+                    return time.time()
+            """,
+        )
+        assert rules_of(findings) == ["ANL007"]
+        assert "HotPolicy" in findings[0].message
+
+    def test_global_rng_in_policy_class_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/bench/custom.py",
+            """
+            import random
+            class RandomPolicy(CachePolicy):
+                def victim_score(self, entry, ctx):
+                    return random.random()
+            """,
+        )
+        assert rules_of(findings) == ["ANL007"]
+
+    def test_seeded_rng_in_policy_class_ok(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/custom.py",
+            """
+            import random
+            class SampledPolicy(CachePolicy):
+                def bind(self, capacity, seed):
+                    self._rng = random.Random(seed)
+            """,
+        )
+        assert findings == []
+
+    def test_non_policy_class_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/custom.py",
+            """
+            import time
+            class Helper:
+                def now(self):
+                    return time.time()
+            """,
+        )
+        assert findings == []
+
+    def test_restricted_packages_not_double_reported(self, tmp_path):
+        # inside repro/core ANL001 already bans this; ANL007 must not
+        # report the same line a second time
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/custom.py",
+            """
+            import time
+            class HotPolicy(CachePolicy):
+                def victim_score(self, entry, ctx):
+                    return time.time()
+            """,
+        )
+        assert rules_of(findings) == ["ANL001"]
+
+
 class TestSuppression:
     def test_allow_comment_suppresses_matching_rule(self, tmp_path):
         findings = lint_snippet(
@@ -289,6 +359,7 @@ class TestDriver:
             "ANL004",
             "ANL005",
             "ANL006",
+            "ANL007",
         }
 
     def test_findings_sorted_and_rendered(self, tmp_path):

@@ -93,3 +93,41 @@ class TestMakeWindow:
 
         results, _ = run(2, program)
         assert results[0] == ({}, True, True, True)
+
+
+class TestPolicyField:
+    def test_default_is_none(self):
+        assert CacheSpec.clampi_fixed(64, 4096).policy is None
+
+    def test_constructor_policy(self):
+        spec = CacheSpec.clampi_fixed(64, 4096, policy="lru")
+        assert spec.policy == "lru"
+        assert "lru" in spec.label
+
+    def test_with_policy(self):
+        spec = CacheSpec.clampi_fixed(64, 4096).with_policy("gdsf")
+        assert spec.policy == "gdsf"
+
+    def test_label_without_policy_unchanged(self):
+        assert "," not in CacheSpec.clampi_fixed(64, 4096).label.split("|S|")[1]
+
+    def test_policy_reaches_window(self):
+        from repro.mpi import SimMPI
+
+        def program(m):
+            spec = CacheSpec.clampi_fixed(64, 4096, policy="slru")
+            win = spec.make_window(m.comm_world, np.zeros(1024, np.uint8))
+            return win.policy_name
+
+        assert SimMPI(nprocs=2).run(program)[0] == "slru"
+
+    def test_adaptive_policy_plumbed(self):
+        from repro.mpi import SimMPI
+
+        def program(m):
+            spec = CacheSpec.clampi_adaptive(64, 4096, policy="tinylfu")
+            win = spec.make_window(m.comm_world, np.zeros(1024, np.uint8))
+            return win.policy_name, win.config.adaptive
+
+        name, adaptive = SimMPI(nprocs=2).run(program)[0]
+        assert name == "tinylfu" and adaptive

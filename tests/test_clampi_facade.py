@@ -114,3 +114,121 @@ class TestStatsSchema:
             assert snap["schema_version"] == clampi.SCHEMA_VERSION
             assert snap["gets"] == 2
             assert snap["hit_full"] == 1
+
+
+class TestPolicyResolution:
+    """The unified policy-selection funnel (info > kwarg > config > env)."""
+
+    def test_default_policy(self):
+        assert clampi.resolve_config().policy == clampi.DEFAULT_POLICY
+
+    def test_policy_kwarg(self):
+        cfg = clampi.resolve_config(policy="lru")
+        assert cfg.policy == "lru"
+
+    def test_config_policy_survives(self):
+        cfg = clampi.resolve_config(clampi.Config(policy="gdsf"))
+        assert cfg.policy == "gdsf"
+
+    def test_policy_kwarg_beats_config(self):
+        cfg = clampi.resolve_config(clampi.Config(policy="gdsf"), policy="lru")
+        assert cfg.policy == "lru"
+
+    def test_info_beats_policy_kwarg(self):
+        cfg = clampi.resolve_config(
+            policy="lru", info={clampi.INFO_POLICY_KEY: "slru"}
+        )
+        assert cfg.policy == "slru"
+
+    def test_env_var_is_last_resort(self, monkeypatch):
+        monkeypatch.setenv(clampi.ENV_POLICY_VAR, "tinylfu")
+        assert clampi.resolve_config().policy == "tinylfu"
+
+    def test_explicit_channels_beat_env(self, monkeypatch):
+        monkeypatch.setenv(clampi.ENV_POLICY_VAR, "tinylfu")
+        assert clampi.resolve_config(policy="lru").policy == "lru"
+        assert (
+            clampi.resolve_config(clampi.Config(policy="gdsf")).policy == "gdsf"
+        )
+        assert (
+            clampi.resolve_config(
+                info={clampi.INFO_POLICY_KEY: "slru"}
+            ).policy
+            == "slru"
+        )
+
+    def test_bad_env_policy_raises(self, monkeypatch):
+        monkeypatch.setenv(clampi.ENV_POLICY_VAR, "bogus")
+        with pytest.raises(ValueError):
+            clampi.resolve_config()
+
+    def test_legacy_alias_through_info(self):
+        cfg = clampi.resolve_config(info={clampi.INFO_POLICY_KEY: "full"})
+        assert cfg.policy == "clampi-full"
+
+    def test_enum_kwarg_warns_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = clampi.resolve_config(policy=clampi.EvictionPolicy.TEMPORAL)
+        assert cfg.policy == "clampi-temporal"
+
+    def test_bad_policy_raises(self):
+        with pytest.raises(ValueError):
+            clampi.resolve_config(policy="no-such")
+
+    def test_registry_exports_on_facade(self):
+        assert "lru" in clampi.available_policies()
+        p = clampi.make_policy("lru")
+        assert isinstance(p, clampi.CachePolicy)
+        for name in (
+            "register",
+            "available_policies",
+            "canonical_policy_name",
+            "INFO_POLICY_KEY",
+            "ENV_POLICY_VAR",
+            "DEFAULT_POLICY",
+        ):
+            assert name in clampi.__all__
+
+    def test_info_policy_end_to_end(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world,
+                4 * KiB,
+                mode=clampi.Mode.ALWAYS_CACHE,
+                info={clampi.INFO_POLICY_KEY: "lru"},
+            )
+            m.comm_world.barrier()
+            if m.rank != 0:
+                return None
+            win.lock_all()
+            win.get_blocking(np.empty(64, np.uint8), 1, 0)
+            win.unlock_all()
+            return win.policy_name, clampi.stats(win).snapshot()
+
+        name, snap = SimMPI(nprocs=2).run(program)[0]
+        assert name == "lru"
+        assert snap["policy"] == "lru"
+
+    def test_policy_kwarg_end_to_end(self):
+        def program(m):
+            win = clampi.window_allocate(
+                m.comm_world,
+                4 * KiB,
+                mode=clampi.Mode.ALWAYS_CACHE,
+                policy="slru",
+            )
+            return win.policy_name
+
+        assert SimMPI(nprocs=2).run(program)[0] == "slru"
+
+    def test_snapshot_policy_default(self):
+        def program(m):
+            win = clampi.window_allocate(m.comm_world, 1 * KiB)
+            return win.stats.snapshot()
+
+        snap = SimMPI(nprocs=1).run(program)[0]
+        assert snap["policy"] == clampi.DEFAULT_POLICY
+        assert snap["admission_rejects"] == 0
+
+    def test_unattached_stats_policy_empty(self):
+        assert clampi.CacheStats().snapshot()["policy"] == ""
