@@ -39,6 +39,13 @@ Rules
     scores on the virtual-time-critical path.  Use ``ctx.seq_index`` /
     ``entry.last`` for recency and the seed handed to ``bind()`` for
     randomness.
+``ANL008`` **recovery-owns-revocation** — ``except`` clauses naming
+    ``RankRevokedError`` are banned outside :mod:`repro.recovery`: the
+    revocation exception marks a *permanent* crash, and ad-hoc handlers
+    tend to swallow it once and deadlock at the next collective.  Use the
+    loop-until-stable helpers (``recovery.retrying``, ``.completed``,
+    ``.barrier``, ``.shrink``) instead, which re-observe the failure set
+    on every retry.
 
 A finding on a given line is suppressed by an ``# analysis: allow(ANLxxx)``
 comment on that line.  ``docs/analysis.md`` documents how to add a rule.
@@ -130,6 +137,7 @@ RULES = {
     "ANL005": "no mutable default arguments",
     "ANL006": "Window/CachedWindow op methods must not inline pipeline concerns",
     "ANL007": "cache policy classes must not use wall clock or global RNG state",
+    "ANL008": "RankRevokedError may only be caught inside repro.recovery",
 }
 
 
@@ -424,6 +432,27 @@ def _check_policy_purity(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
             yield line, "ANL007", f"in policy class {cls.name}: {msg}"
 
 
+def _check_revocation_handlers(
+    tree: ast.Module,
+) -> Iterator[tuple[int, str, str]]:
+    """ANL008: only repro.recovery may catch RankRevokedError."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler) or node.type is None:
+            continue
+        exprs = (
+            node.type.elts
+            if isinstance(node.type, ast.Tuple)
+            else [node.type]
+        )
+        for expr in exprs:
+            if _dotted(expr).rpartition(".")[2] == "RankRevokedError":
+                yield node.lineno, "ANL008", (
+                    "except RankRevokedError outside repro.recovery; use the "
+                    "loop-until-stable helpers (recovery.retrying/completed/"
+                    "barrier) so the failure set is re-observed on retry"
+                )
+
+
 def _check_mutable_defaults(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
     for node in ast.walk(tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -486,6 +515,8 @@ def lint_file(
     if not _is_restricted(posix):
         # inside the restricted packages ANL001/ANL002 already flag these
         raw.extend(_check_policy_purity(tree))
+    if "repro/recovery/" not in posix:
+        raw.extend(_check_revocation_handlers(tree))
     raw.extend(_check_mutable_defaults(tree))
 
     findings = []

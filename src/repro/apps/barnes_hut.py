@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import recovery
 from repro.apps.cachespec import CacheSpec, cache_stats_of
 from repro.graph.partition import BlockPartition
+from repro.mpi.errors import TargetFailedError
 from repro.mpi.simmpi import MPIProcess, SimMPI
 from repro.net import PerfModel
 from repro.trace import TraceRecorder
@@ -164,6 +166,9 @@ class BHRunResult:
     forces: np.ndarray             #: (n, 3) accelerations-times-mass
     cache_stats: list[dict] = field(default_factory=list)
     traces: list[TraceRecorder] = field(default_factory=list)
+    #: absolute virtual makespan incl. setup (window creation, barrier);
+    #: chaos crash plans anchor their death times to this
+    makespan: float = 0.0
 
     def merged_stats(self) -> dict[str, float]:
         if not self.cache_stats or not self.cache_stats[0]:
@@ -252,7 +257,12 @@ class BarnesHutApp:
         stats: list[dict] = []
         traces: list[TraceRecorder] = []
         max_local = 1
-        for lo, hi, f, phase_time, st, rec in results:
+        for r in results:
+            if r is None:
+                # Rank crashed mid-run (chaos crash scenario): its bodies
+                # keep zero force, the survivors' results stand.
+                continue
+            lo, hi, f, phase_time, st, rec = r
             forces[lo:hi] = f
             rank_times.append(phase_time)
             stats.append(st)
@@ -268,6 +278,7 @@ class BarnesHutApp:
             forces=forces,
             cache_stats=stats,
             traces=traces,
+            makespan=mpi.elapsed,
         )
 
 
@@ -289,7 +300,7 @@ def _bh_rank_program(
 
     body_part = BlockPartition(tree.nbodies, mpi.size)
     blo, bhi = body_part.range_of(mpi.rank)
-    mpi.comm_world.barrier()
+    recovery.barrier(mpi.comm_world)
 
     node_buf = np.empty(NODE_FLOATS, dtype=np.float64)
     blk = node_part.block  # hoisted: fetch_node runs millions of times
@@ -320,7 +331,13 @@ def _bh_rank_program(
             visits = 0
             interactions = 0
             while stack:
-                rec = fetch_node(stack.pop())
+                try:
+                    rec = fetch_node(stack.pop())
+                except TargetFailedError:
+                    # The node's owner crashed and its record is not
+                    # recoverable from the cache: the whole subtree is
+                    # lost; sum the forces still reachable.
+                    continue
                 visits += 1
                 nchildren = int(rec[5])
                 dx = rec[0] - pbx

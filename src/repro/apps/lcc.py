@@ -31,8 +31,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import recovery
 from repro.apps.cachespec import CacheSpec, cache_stats_of
 from repro.graph import CSRGraph, DistributedGraph, rmat_graph
+from repro.mpi.errors import TargetFailedError
 from repro.mpi.simmpi import MPIProcess, SimMPI
 from repro.net import PerfModel
 from repro.trace import TraceRecorder
@@ -55,6 +57,9 @@ class LCCRunResult:
     lcc: np.ndarray                      #: LCC value per vertex (global)
     cache_stats: list[dict] = field(default_factory=list)
     traces: list[TraceRecorder] = field(default_factory=list)
+    #: absolute virtual makespan incl. setup (window creation, barrier);
+    #: chaos crash plans anchor their death times to this
+    makespan: float = 0.0
 
     def merged_stats(self) -> dict[str, float]:
         """Sum of per-rank cache counters."""
@@ -136,6 +141,10 @@ class LCCApp:
         traces: list[TraceRecorder] = []
         max_local = 1
         for r in results:
+            if r is None:
+                # Rank crashed mid-run (chaos crash scenario): its vertex
+                # range stays zero, the survivors' results stand.
+                continue
             lo, hi, values, phase_time, st, rec = r
             lcc[lo:hi] = values
             rank_times.append(phase_time)
@@ -152,6 +161,7 @@ class LCCApp:
             lcc=lcc,
             cache_stats=stats,
             traces=traces,
+            makespan=mpi.elapsed,
         )
 
 
@@ -174,7 +184,7 @@ def _lcc_rank_program(
         csr=csr,
     )
     win = graph.window
-    mpi.comm_world.barrier()
+    recovery.barrier(mpi.comm_world)
 
     t0 = mpi.time
     win.lock_all()
@@ -199,9 +209,15 @@ def _lcc_rank_program(
             for u in adj_v:
                 du = graph.degree(int(u))
                 buf = np.empty(du, dtype=np.int64)
-                owner, _ = graph.fetch_adjacency(int(u), buf)
-                if owner != mpi.rank:
-                    win.flush(owner)
+                try:
+                    owner, _ = graph.fetch_adjacency(int(u), buf)
+                    if owner != mpi.rank:
+                        win.flush(owner)
+                except TargetFailedError:
+                    # The owner crashed and its adjacency is unrecoverable
+                    # (or not cached under serve-stale): count only the
+                    # links still visible.
+                    buf = np.empty(0, dtype=np.int64)
                 bufs.append(buf)
         # Triangle counting over the fetched lists.
         links = 0

@@ -67,6 +67,8 @@ from repro.core.config import (
     ENV_POLICY_VAR,
     INFO_MODE_KEY,
     INFO_POLICY_KEY,
+    INFO_RECOVERY_KEY,
+    RECOVERY_MODES,
     AdaptiveParams,
     Config,
     EvictionPolicy,
@@ -98,8 +100,10 @@ __all__ = [
     "EvictionPolicy",
     "INFO_MODE_KEY",
     "INFO_POLICY_KEY",
+    "INFO_RECOVERY_KEY",
     "Mode",
     "PolicyContext",
+    "RECOVERY_MODES",
     "SCHEMA_VERSION",
     "available_policies",
     "canonical_policy_name",
@@ -121,6 +125,7 @@ def resolve_config(
     mode: Mode | None = None,
     info: Mapping[str, Any] | None = None,
     policy: str | EvictionPolicy | None = None,
+    recovery: str | None = None,
 ) -> Config:
     """Resolve the effective :class:`Config` from every facade channel.
 
@@ -135,6 +140,11 @@ def resolve_config(
     non-default policy, so a program that pins a specific policy can
     never be perturbed by the environment.
 
+    The crash-recovery mode (see :data:`RECOVERY_MODES` and
+    ``docs/resilience.md``) resolves like the mode:
+    ``info["clampi_recovery"]`` > ``recovery=`` > ``config.recovery`` >
+    the default (``"invalidate"``).
+
     This is the one place the precedence lives; every facade entry point
     delegates here.
     """
@@ -143,6 +153,8 @@ def resolve_config(
         cfg = replace(cfg, mode=mode)
     if policy is not None:
         cfg = replace(cfg, policy=canonical_policy_name(policy))
+    if recovery is not None:
+        cfg = replace(cfg, recovery=recovery)
     if info is not None:
         info_mode = info.get(INFO_MODE_KEY)
         if info_mode is not None:
@@ -150,6 +162,9 @@ def resolve_config(
         info_policy = info.get(INFO_POLICY_KEY)
         if info_policy is not None:
             cfg = replace(cfg, policy=canonical_policy_name(info_policy))
+        info_recovery = info.get(INFO_RECOVERY_KEY)
+        if info_recovery is not None:
+            cfg = replace(cfg, recovery=info_recovery)
     if (
         cfg.policy == DEFAULT_POLICY
         and policy is None
@@ -180,16 +195,20 @@ def window_allocate(
     config: Config | None = None,
     info: Mapping[str, Any] | None = None,
     policy: str | EvictionPolicy | None = None,
+    recovery: str | None = None,
 ) -> CachedWindow:
     """Collectively allocate a caching-enabled window.
 
-    Mode and policy precedence follow :func:`resolve_config`:
-    ``info["clampi_mode"]`` > ``mode=`` > ``config.mode``, and
+    Mode, policy and recovery precedence follow :func:`resolve_config`:
+    ``info["clampi_mode"]`` > ``mode=`` > ``config.mode``,
     ``info["clampi_policy"]`` > ``policy=`` > ``config.policy`` >
-    ``CLAMPI_POLICY``.
+    ``CLAMPI_POLICY``, and ``info["clampi_recovery"]`` > ``recovery=`` >
+    ``config.recovery``.
     """
     win = Window.allocate(comm, nbytes, disp_unit=disp_unit, info=info)
-    return CachedWindow(win, resolve_config(config, mode, info, policy))
+    return CachedWindow(
+        win, resolve_config(config, mode, info, policy, recovery)
+    )
 
 
 def window_create(
@@ -200,13 +219,16 @@ def window_create(
     config: Config | None = None,
     info: Mapping[str, Any] | None = None,
     policy: str | EvictionPolicy | None = None,
+    recovery: str | None = None,
 ) -> CachedWindow:
     """Collectively cache-enable a window over an existing local buffer.
 
-    Mode and policy precedence follow :func:`resolve_config`.
+    Mode, policy and recovery precedence follow :func:`resolve_config`.
     """
     win = Window.create(comm, buffer, disp_unit=disp_unit, info=info)
-    return CachedWindow(win, resolve_config(config, mode, info, policy))
+    return CachedWindow(
+        win, resolve_config(config, mode, info, policy, recovery)
+    )
 
 
 def wrap(
@@ -214,13 +236,16 @@ def wrap(
     mode: Mode | None = None,
     config: Config | None = None,
     policy: str | EvictionPolicy | None = None,
+    recovery: str | None = None,
 ) -> CachedWindow:
     """Cache-enable an already-created plain window (local operation).
 
-    The window's creation-time info dict participates in the mode and
-    policy resolution exactly as in :func:`window_allocate`.
+    The window's creation-time info dict participates in the mode,
+    policy and recovery resolution exactly as in :func:`window_allocate`.
     """
-    return CachedWindow(window, resolve_config(config, mode, window.info, policy))
+    return CachedWindow(
+        window, resolve_config(config, mode, window.info, policy, recovery)
+    )
 
 
 def invalidate(window: CachedWindow) -> None:

@@ -38,6 +38,13 @@ INFO_POLICY_KEY = "clampi_policy"
 #: last resort; see ``clampi.resolve_config`` for the full precedence).
 ENV_POLICY_VAR = "CLAMPI_POLICY"
 
+#: MPI_Info key selecting the crash-recovery mode ("invalidate" or
+#: "serve-stale"); see ``Config.recovery`` and docs/resilience.md.
+INFO_RECOVERY_KEY = "clampi_recovery"
+
+#: Valid values of ``Config.recovery``.
+RECOVERY_MODES = ("invalidate", "serve-stale")
+
 
 class Mode(Enum):
     TRANSPARENT = "transparent"
@@ -126,6 +133,12 @@ class Config:
     quarantine_threshold: int = 4
     #: degraded gets to serve before probing whether the fault cleared
     quarantine_probe_interval: int = 512
+    #: what happens to a dead rank's cached entries when its crash is
+    #: observed: "invalidate" (drop them; further gets raise
+    #: TargetFailedError) or "serve-stale" (pin epoch-consistent entries
+    #: read-only and keep serving exact-match reads from them); see
+    #: docs/resilience.md
+    recovery: str = "invalidate"
 
     def __post_init__(self) -> None:
         # Normalise the policy spec (name / legacy alias / enum) to its
@@ -153,6 +166,11 @@ class Config:
             raise ValueError("quarantine_threshold must be >= 1")
         if self.quarantine_probe_interval < 1:
             raise ValueError("quarantine_probe_interval must be >= 1")
+        if self.recovery not in RECOVERY_MODES:
+            raise ValueError(
+                f"unknown recovery mode {self.recovery!r}; "
+                f"expected one of {RECOVERY_MODES}"
+            )
 
     def with_sizes(self, index_entries: int, storage_bytes: int) -> "Config":
         """Copy with new |I_w| / |S_w| (used by the adaptive controller)."""

@@ -58,6 +58,7 @@ class CacheEntry:
         "slot",
         "pending_source",
         "pending_waiter_bytes",
+        "pinned",
     )
 
     def __init__(self, trg: int, dsp: int, dtype: Datatype, count: int):
@@ -76,6 +77,10 @@ class CacheEntry:
         self.pending_source: np.ndarray | None = None
         #: payload bytes promised to same-epoch PENDING hits (charged at close)
         self.pending_waiter_bytes: list[int] = []
+        #: read-only survivor of a crashed target (recovery="serve-stale");
+        #: pinned entries are never eviction victims and outlive epoch-close
+        #: invalidation, but explicit invalidate() still drops them.
+        self.pinned = False
 
     # ------------------------------------------------------------------
     @property

@@ -12,6 +12,8 @@ Two eviction triggers exist:
 
 Only CACHED entries are evictable: a PENDING entry's payload is not in
 ``S_w`` yet and its destination buffers are still owed data at epoch close.
+Entries pinned by crash recovery (``recovery="serve-stale"``) are likewise
+never victims — they are the only remaining source of a dead rank's data.
 
 The eviction engine reports how many slots it visited and how many of them
 were non-empty — the sparsity signal ``q`` consumed by the adaptive
@@ -155,7 +157,7 @@ class EvictionEngine:
             if entry is not None:
                 nonempty += 1
                 assert isinstance(entry, CacheEntry)
-                if entry.state is EntryState.CACHED:
+                if entry.state is EntryState.CACHED and not entry.pinned:
                     s = self.score(entry, seq_index, avg_get_size)
                     if s < best_score:
                         best_score = s
@@ -182,7 +184,7 @@ class EvictionEngine:
         for e in path:
             if e is exclude:
                 continue
-            if e.state is not EntryState.CACHED:
+            if e.state is not EntryState.CACHED or e.pinned:
                 continue
             s = self.score(e, seq_index, avg_get_size)
             if s < best_score:

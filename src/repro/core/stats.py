@@ -30,7 +30,9 @@ from enum import Enum
 #: v3: added the resolved eviction/admission policy name (``policy``, a
 #: string — the one non-numeric snapshot value besides schema_version)
 #: and the ``admission_rejects`` counter.
-SCHEMA_VERSION = 3
+#: v4: added the crash-recovery counters (rank_failures,
+#: failed_target_gets, recovered_gets, recovery_pinned, recovery_dropped).
+SCHEMA_VERSION = 4
 
 
 class AccessType(Enum):
@@ -72,6 +74,12 @@ class Counters:
     quarantines: int = 0            #: times the cache self-disabled
     # -- policy counters (schema v3) ------------------------------------
     admission_rejects: int = 0      #: misses the admission policy refused
+    # -- crash-recovery counters (schema v4) ----------------------------
+    rank_failures: int = 0          #: crashed target ranks this cache observed
+    failed_target_gets: int = 0     #: gets refused because the target is dead
+    recovered_gets: int = 0         #: gets served from a dead rank's entries
+    recovery_pinned: int = 0        #: entries pinned read-only on target death
+    recovery_dropped: int = 0       #: entries invalidated on target death
 
     def record_access(self, access: AccessType) -> None:
         self.gets += 1
@@ -168,6 +176,21 @@ class CacheStats:
     def record_admission_reject(self) -> None:
         self.total.admission_rejects += 1
         self.interval.admission_rejects += 1
+
+    def record_rank_failure(self, pinned: int = 0, dropped: int = 0) -> None:
+        """One crashed target observed, with the entry disposition counts."""
+        for c in (self.total, self.interval):
+            c.rank_failures += 1
+            c.recovery_pinned += pinned
+            c.recovery_dropped += dropped
+
+    def record_failed_target_get(self) -> None:
+        self.total.failed_target_gets += 1
+        self.interval.failed_target_gets += 1
+
+    def record_recovered_get(self) -> None:
+        self.total.recovered_gets += 1
+        self.interval.recovered_gets += 1
 
     def record_cache_bytes(self, nbytes: int) -> None:
         self.total.bytes_from_cache += nbytes

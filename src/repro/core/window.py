@@ -46,7 +46,13 @@ from typing import Any, Iterator, Mapping
 import numpy as np
 
 from repro.core.adaptive import AdaptiveController, Adjustment
-from repro.core.config import INFO_MODE_KEY, INFO_POLICY_KEY, Config, Mode
+from repro.core.config import (
+    INFO_MODE_KEY,
+    INFO_POLICY_KEY,
+    INFO_RECOVERY_KEY,
+    Config,
+    Mode,
+)
 from repro.core.costmodel import CostModel
 from repro.core.cuckoo import CuckooIndex, InsertResult
 from repro.core.entry import CacheEntry
@@ -57,7 +63,7 @@ from repro.core.stats import AccessType, CacheStats
 from repro.core.storage import Storage
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import Datatype
-from repro.mpi.errors import StorageFault
+from repro.mpi.errors import StorageFault, TargetFailedError
 from repro.mpi.window import Window
 from repro.obs import (
     CACHE_ACCESS,
@@ -67,6 +73,7 @@ from repro.obs import (
     CACHE_EPOCH,
     CACHE_EVICT,
     CACHE_INVALIDATE,
+    CACHE_RECOVERED,
     CallbackSink,
     Event,
     EventBus,
@@ -95,8 +102,15 @@ class CachedWindow:
         info_policy = window.info.get(INFO_POLICY_KEY)
         if info_policy is not None:
             cfg = _replace_policy(cfg, info_policy)
+        info_recovery = window.info.get(INFO_RECOVERY_KEY)
+        if info_recovery is not None:
+            cfg = _replace_recovery(cfg, info_recovery)
         self.config = cfg
         self.mode = cfg.mode
+        #: crash-recovery mode ("invalidate" | "serve-stale")
+        self.recovery_mode = cfg.recovery
+        #: crashed target ranks whose entries were already dispositioned
+        self._observed_failures: set[int] = set()
         #: resolved registry name of the eviction/admission policy
         self.policy_name = canonical_policy_name(cfg.policy)
         self.stats = CacheStats(policy=self.policy_name)
@@ -770,9 +784,88 @@ class CachedWindow:
             base[1] = rt
 
     # ------------------------------------------------------------------
+    # crash recovery (docs/resilience.md)
+    # ------------------------------------------------------------------
+    def _observe_failures(self) -> None:
+        """Disposition the entries of any newly crashed target ranks.
+
+        ``serve-stale`` pins a dead rank's indexed entries read-only (they
+        are epoch-consistent: RMA writes from other ranks would have been
+        fenced by the same epochs that admitted the entries) and keeps
+        serving exact-match reads from them; ``invalidate`` drops them so
+        every later get towards the rank fails fast.  Orphan PENDING
+        entries (mid-conflict, out of the index) are unreachable for
+        serving and are dropped in both modes.
+        """
+        proc = self._win._comm.proc
+        new = proc.failed_ranks - self._observed_failures
+        if not new:
+            return
+        for rank in sorted(new):
+            self._observed_failures.add(rank)
+            pinned = dropped = 0
+            indexed = [
+                e
+                for e in list(self._index.entries())
+                if isinstance(e, CacheEntry) and e.trg == rank
+            ]
+            orphans = [
+                e for e in list(self._pending) if e.slot < 0 and e.trg == rank
+            ]
+            if self.recovery_mode == "serve-stale":
+                for e in indexed:
+                    e.pinned = True
+                    pinned += 1
+            else:
+                for e in indexed:
+                    self._drop_entry(e)
+                    dropped += 1
+            for e in orphans:
+                self._drop_entry(e)
+                dropped += 1
+            self.stats.record_rank_failure(pinned=pinned, dropped=dropped)
+            if self.obs.enabled:
+                self._emit(
+                    CACHE_RECOVERED,
+                    rank=rank,
+                    mode=self.recovery_mode,
+                    pinned=pinned,
+                    dropped=dropped,
+                )
+
+    def _serve_failed_target(self, req: CacheGetRequest) -> int:
+        """A get towards a crashed rank (the CacheRecovery stage's serve).
+
+        ``serve-stale`` serves exact full hits from the rank's pinned
+        entries; anything else — and every get in ``invalidate`` mode —
+        is classified FAILING and fails with a deferred
+        :class:`TargetFailedError` (raised after the accounting passes).
+        """
+        if self.recovery_mode == "serve-stale":
+            self.cost.lookup()
+            entry, _probes = self._index.lookup((req.target, req.disp))
+            if (
+                isinstance(entry, CacheEntry)
+                and entry.state in (EntryState.CACHED, EntryState.PENDING)
+                and entry.covers(req.dtype, req.count)
+            ):
+                nbytes = self._serve_full_hit(entry, req.origin, req.size)
+                self.stats.record_recovered_get()
+                return nbytes
+        self.stats.record_access(AccessType.FAILING)
+        self.stats.record_failed_target_get()
+        req.failure = TargetFailedError(req.target, "get")
+        return 0
+
+    # ------------------------------------------------------------------
     # epoch closure, invalidation, adaptation
     # ------------------------------------------------------------------
     def _on_epoch_close(self, _win: Window, targets: set[int] | None) -> None:
+        # Observe any crash that happened inside the closing epoch first,
+        # so serve-stale pins land before TRANSPARENT-mode invalidation.
+        if self._win._comm.proc.can_fail:
+            self._observe_failures()
+
         def closes(e: CacheEntry) -> bool:
             return targets is None or e.trg in targets
 
@@ -784,7 +877,7 @@ class CachedWindow:
             for n in e.pending_waiter_bytes:
                 self.cost.copy(n)
             e.pending_waiter_bytes = []
-            if self.mode is Mode.TRANSPARENT:
+            if self.mode is Mode.TRANSPARENT and not e.pinned:
                 # The entry dies at closure anyway: skip the materialisation
                 # copy, release its resources.
                 e.pending_source = None
@@ -807,7 +900,10 @@ class CachedWindow:
         self._orphan_waiter_bytes = []
 
         if self.mode is Mode.TRANSPARENT:
-            self._invalidate_entries(targets)
+            # Pinned entries (serve-stale crash survivors) outlive epoch
+            # closure: they are the only remaining copy of the dead
+            # rank's data and can never be refreshed or go stale.
+            self._invalidate_entries(targets, include_pinned=False)
 
         self._sync_fault_counters()
         if self.obs.enabled:
@@ -818,19 +914,29 @@ class CachedWindow:
                 CACHE_EPOCH, eph=self._win.eph, gets=t.gets, hits=t.hits
             )
 
-    def _invalidate_entries(self, targets: set[int] | None) -> int:
-        """Drop all (or per-target) entries; returns how many were live."""
+    def _invalidate_entries(
+        self, targets: set[int] | None, *, include_pinned: bool = True
+    ) -> int:
+        """Drop all (or per-target) entries; returns how many were live.
+
+        ``include_pinned=False`` (epoch closure) spares the serve-stale
+        crash survivors; explicit invalidation, quarantine and adaptive
+        rebuilds drop them too.
+        """
         victims = [
             e
             for e in list(self._index.entries())
-            if isinstance(e, CacheEntry) and (targets is None or e.trg in targets)
+            if isinstance(e, CacheEntry)
+            and (targets is None or e.trg in targets)
+            and (include_pinned or not e.pinned)
         ]
         for e in victims:
             self._drop_entry(e)
         if targets is None:
             # Pending entries outside the index (mid-conflict orphans) die too.
             for e in list(self._pending):
-                self._drop_entry(e)
+                if include_pinned or not e.pinned:
+                    self._drop_entry(e)
         return len(victims)
 
     def invalidate(self) -> None:
@@ -941,3 +1047,9 @@ def _replace_policy(cfg: Config, policy: str) -> Config:
     from dataclasses import replace
 
     return replace(cfg, policy=policy)
+
+
+def _replace_recovery(cfg: Config, recovery: str) -> Config:
+    from dataclasses import replace
+
+    return replace(cfg, recovery=recovery)

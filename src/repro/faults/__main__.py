@@ -1,13 +1,21 @@
 """CLI for the chaos harness: ``python -m repro.faults``.
 
-Runs the chaos suite (micro + LCC + Barnes-Hut, each clean vs faulted)
-and exits non-zero when any workload's faulted result is not bit-identical
-to the fault-free run, or when the plan injected nothing (a vacuous pass).
+The default (``--scenario transparent``) runs the chaos suite (micro +
+LCC + Barnes-Hut, each clean vs faulted) and exits non-zero when any
+workload's faulted result is not bit-identical to the fault-free run, or
+when the plan injected nothing (a vacuous pass).
 
-``--obs capture.jsonl`` streams every telemetry event of the faulted runs
-(fault injections, retries, degradations, cache accesses) to a JSONL file
-— the artifact CI uploads when the chaos job fails, so a bad seed can be
-replayed and inspected offline.
+``--scenario crash`` runs the crash-stop scenario instead: one rank of
+eight dies permanently mid-run and the suite fails unless LCC and
+Barnes-Hut complete on the seven survivors (no deadlock, no escaped
+``RankFailedError``), the recovery counters (stats schema v4) fired, and
+an armed-but-unfired crash plan stayed bit-identical in results and
+virtual time.
+
+``--obs capture.jsonl`` streams every telemetry event of the runs (fault
+injections, retries, degradations, crashes, revocations, cache accesses)
+to a JSONL file — the artifact CI uploads for the chaos jobs, so a bad
+seed can be replayed and inspected offline.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import argparse
 import sys
 
 from repro import obs
-from repro.faults.chaos import render, run_suite
+from repro.faults.chaos import render, render_crash, run_crash_suite, run_suite
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,6 +34,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="fault-plan seed (default 0)"
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=("transparent", "crash"),
+        default="transparent",
+        help="'transparent' = fault-transparency suite (default); "
+        "'crash' = permanent rank failure + survivor recovery",
     )
     parser.add_argument(
         "--obs",
@@ -39,14 +54,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.obs is not None:
         sink = obs.get_bus().attach(obs.JSONLSink(args.obs))
     try:
-        outcomes = run_suite(seed=args.seed)
+        if args.scenario == "crash":
+            outcomes = run_crash_suite(seed=args.seed)
+            rendered = render_crash(outcomes)
+        else:
+            outcomes = run_suite(seed=args.seed)
+            rendered = render(outcomes)
     finally:
         if sink is not None:
             obs.get_bus().detach(sink)
             sink.close()
 
-    print(f"chaos suite (seed={args.seed})")
-    print(render(outcomes))
+    print(f"chaos suite (scenario={args.scenario}, seed={args.seed})")
+    print(rendered)
     if all(o.ok for o in outcomes):
         print("chaos suite PASSED")
         return 0

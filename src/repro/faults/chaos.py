@@ -194,6 +194,160 @@ def run_barnes_hut(
 
 
 # ----------------------------------------------------------------------
+# crash-stop scenario (docs/resilience.md, "crash" failure model)
+# ----------------------------------------------------------------------
+@dataclass
+class CrashOutcome:
+    """Result of one crash-stop workload run (clean / armed / crashed)."""
+
+    name: str
+    nprocs: int
+    victim: int                    #: rank killed in the crashed run
+    completed: bool                #: crashed run finished on the survivors
+    survivors: int                 #: ranks that returned a result
+    #: armed-but-unfired run (crash planned far past the end) stayed
+    #: bit-identical to the clean run in results AND virtual time
+    unfired_identical: bool
+    schema_ok: bool                #: survivor snapshots carry schema v4
+    clean_elapsed: float
+    crashed_elapsed: float
+    stats: dict[str, float] = field(default_factory=dict)  #: merged, crashed run
+
+    @property
+    def ok(self) -> bool:
+        """Survivors completed, recovery demonstrably engaged, no drift."""
+        return (
+            self.completed
+            and self.survivors == self.nprocs - 1
+            and self.unfired_identical
+            and self.schema_ok
+            and self.stats.get("rank_failures", 0) > 0
+        )
+
+
+def crash_plan(seed: int, victim: int, t_start: float) -> FaultPlan:
+    """A plan that kills exactly ``victim`` at virtual time ``t_start``."""
+    return FaultPlan.of(
+        FaultRule("crash", probability=1.0, ranks=(victim,), t_start=t_start),
+        seed=seed,
+    )
+
+
+def _run_crash_app(
+    name: str,
+    run,
+    results_of,
+    seed: int,
+    nprocs: int,
+) -> CrashOutcome:
+    """Shared clean / armed-unfired / crashed protocol for one app.
+
+    ``run(faults)`` executes the app; ``results_of(outcome)`` extracts the
+    computed array compared for bit-identity.
+    """
+    clean = run(None)
+    victim = (seed + nprocs // 2) % nprocs
+    # Armed but unfired: the crash machinery is active (failure detector,
+    # Recovery interceptor, CacheRecovery stage) but the victim would die
+    # long after the run ends -- results and virtual times must stay
+    # bit-identical to the clean run.
+    unfired = run(crash_plan(seed, victim, t_start=clean.makespan * 10.0))
+    unfired_identical = (
+        bool(np.array_equal(results_of(clean), results_of(unfired)))
+        and clean.rank_times == unfired.rank_times
+        and clean.makespan == unfired.makespan
+    )
+    # The real crash: mid-force/traversal-phase, after setup completed.
+    setup = clean.makespan - clean.elapsed
+    try:
+        crashed = run(crash_plan(seed, victim, setup + 0.45 * clean.elapsed))
+    except Exception:
+        # Deadlock, an escaped RankFailedError, a survivor dying on an
+        # unhandled revocation -- exactly what this scenario guards against.
+        return CrashOutcome(
+            name=name,
+            nprocs=nprocs,
+            victim=victim,
+            completed=False,
+            survivors=0,
+            unfired_identical=unfired_identical,
+            schema_ok=False,
+            clean_elapsed=clean.elapsed,
+            crashed_elapsed=float("nan"),
+        )
+    return CrashOutcome(
+        name=name,
+        nprocs=nprocs,
+        victim=victim,
+        completed=True,
+        survivors=len(crashed.cache_stats),
+        unfired_identical=unfired_identical,
+        schema_ok=all(
+            s.get("schema_version") == 4 for s in crashed.cache_stats
+        ),
+        clean_elapsed=clean.elapsed,
+        crashed_elapsed=crashed.elapsed,
+        stats=merge_stats(crashed.cache_stats),
+    )
+
+
+def run_crash_lcc(seed: int = 0, nprocs: int = 8, scale: int = 7) -> CrashOutcome:
+    """LCC with one rank dying mid-traversal; survivors must finish."""
+    app = LCCApp(scale=scale, edge_factor=8, seed=2)
+    spec = CacheSpec.clampi_fixed(256, 64 * 1024, recovery="serve-stale")
+    return _run_crash_app(
+        "lcc-crash",
+        lambda faults: app.run(nprocs, spec, faults=faults),
+        lambda r: r.lcc,
+        seed,
+        nprocs,
+    )
+
+
+def run_crash_barnes_hut(
+    seed: int = 0, nprocs: int = 8, nbodies: int = 192
+) -> CrashOutcome:
+    """Barnes-Hut with one rank dying mid-force-phase."""
+    app = BarnesHutApp(nbodies=nbodies, seed=3)
+    spec = CacheSpec.clampi_fixed(256, 64 * 1024, recovery="serve-stale")
+    return _run_crash_app(
+        "barnes-crash",
+        lambda faults: app.run(nprocs, spec, faults=faults),
+        lambda r: r.forces,
+        seed,
+        nprocs,
+    )
+
+
+def run_crash_suite(seed: int = 0) -> list[CrashOutcome]:
+    """Both applications under the crash-stop scenario."""
+    return [run_crash_lcc(seed=seed), run_crash_barnes_hut(seed=seed)]
+
+
+def render_crash(outcomes: list[CrashOutcome]) -> str:
+    """Human-readable crash-scenario report (one block per workload)."""
+    lines = []
+    for o in outcomes:
+        verdict = "OK " if o.ok else "FAIL"
+        lines.append(
+            f"[{verdict}] {o.name:<12} survivors={o.survivors}/{o.nprocs} "
+            f"(rank {o.victim} crashed) unfired-identical="
+            f"{str(o.unfired_identical):<5} "
+            f"elapsed {o.clean_elapsed * 1e3:8.3f} ms -> "
+            f"{o.crashed_elapsed * 1e3:8.3f} ms"
+        )
+        s = o.stats
+        lines.append(
+            f"       rank_failures={s.get('rank_failures', 0):.0f} "
+            f"failed_target_gets={s.get('failed_target_gets', 0):.0f} "
+            f"recovered_gets={s.get('recovered_gets', 0):.0f} "
+            f"recovery_pinned={s.get('recovery_pinned', 0):.0f} "
+            f"recovery_dropped={s.get('recovery_dropped', 0):.0f}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 def run_suite(seed: int = 0) -> list[ChaosOutcome]:
     """All workloads under the default chaos mix for ``seed``."""
     plan = default_plan(seed)

@@ -25,6 +25,13 @@ Rule kinds
     ``stall_factor`` times the model-priced duration — congestion rather
     than loss.  If the stalled duration exceeds the retry policy's per-op
     timeout the transfer degenerates into an ``RMATimeoutError``.
+``crash``
+    The rank dies *permanently* (crash-stop) once its virtual clock
+    reaches the rule's ``t_start``.  Unlike every other op this is not a
+    per-operation decision: :meth:`FaultPlan.crash_times` resolves the
+    whole plan into one deterministic ``{rank: time}`` map before the run
+    starts, and the scheduler's failure detector does the rest
+    (see :mod:`repro.runtime.scheduler` and :mod:`repro.recovery`).
 
 Determinism
 -----------
@@ -45,7 +52,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 #: Operation kinds a rule may target.
-RULE_OPS = ("get", "put", "flush", "alloc", "jitter")
+RULE_OPS = ("get", "put", "flush", "alloc", "jitter", "crash")
 
 
 @dataclass(frozen=True)
@@ -80,6 +87,16 @@ class FaultRule:
             raise ValueError("stall / stall_factor must be >= 0")
         if self.op == "jitter" and self.stall == 0.0 and self.stall_factor == 0.0:
             raise ValueError("a jitter rule needs stall and/or stall_factor > 0")
+        if self.op == "crash":
+            if self.targets is not None:
+                raise ValueError(
+                    "a crash rule kills the issuing rank; it cannot filter "
+                    "by target — use ranks= to select the victims"
+                )
+            if self.stall or self.stall_factor:
+                raise ValueError("stall / stall_factor are meaningless for crash rules")
+            if not math.isfinite(self.t_start):
+                raise ValueError("a crash rule needs a finite t_start (the death time)")
         # Freeze mutable filter arguments into frozensets.
         for name in ("ranks", "targets"):
             v = getattr(self, name)
@@ -112,6 +129,28 @@ class FaultPlan:
     def __post_init__(self) -> None:
         if not isinstance(self.rules, tuple):
             object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise ValueError(
+                    f"FaultPlan rules must be FaultRule instances, got {rule!r}"
+                )
+        # A rank dies exactly once: two crash rules that could both apply
+        # to the same rank make the plan ambiguous (which death time
+        # wins?), so they are rejected outright.  ranks=None means "every
+        # rank" and therefore overlaps any other crash rule.
+        crash_rules = [r for r in self.rules if r.op == "crash"]
+        for i, a in enumerate(crash_rules):
+            for b in crash_rules[i + 1 :]:
+                if a.ranks is None or b.ranks is None or (a.ranks & b.ranks):
+                    overlap = (
+                        "all ranks"
+                        if a.ranks is None or b.ranks is None
+                        else f"ranks {sorted(a.ranks & b.ranks)}"
+                    )
+                    raise ValueError(
+                        f"overlapping crash rules for {overlap}: a rank can "
+                        "only die once — merge the rules or disjoin ranks="
+                    )
 
     # -- convenience constructors ---------------------------------------
     @classmethod
@@ -141,7 +180,35 @@ class FaultPlan:
         return FaultPlan(rules=self.rules + tuple(extra), seed=self.seed)
 
     def rules_for(self, op: str) -> tuple[FaultRule, ...]:
+        if op not in RULE_OPS:
+            raise ValueError(f"unknown fault op {op!r}; expected one of {RULE_OPS}")
         return tuple(r for r in self.rules if r.op == op)
+
+    # ------------------------------------------------------------------
+    def crash_times(self, nprocs: int) -> dict[int, float]:
+        """Resolve the plan's crash rules into ``{rank: death time}``.
+
+        Deterministic: whether a probabilistic crash rule fires for a rank
+        is one draw from the rank's dedicated ``(seed, rank, "crash")``
+        stream, independent of everything else in the run.  Ranks absent
+        from the map never crash.
+        """
+        rules = self.rules_for("crash")
+        times: dict[int, float] = {}
+        if not rules:
+            return times
+        for rank in range(nprocs):
+            for rule in rules:
+                if rule.ranks is not None and rank not in rule.ranks:
+                    continue
+                if (
+                    rule.probability >= 1.0
+                    or random.Random(f"{self.seed}:{rank}:crash").random()
+                    < rule.probability
+                ):
+                    times[rank] = rule.t_start
+                break  # overlap validation guarantees at most one match
+        return times
 
 
 class FaultInjector:
@@ -188,7 +255,13 @@ class FaultInjector:
         the decision sequence is a pure function of the plan and the
         rank's own operation order.
         """
-        rules = self._by_op.get(op)
+        try:
+            rules = self._by_op[op]
+        except KeyError:
+            # A typo'd op name must fail loudly, not "never fire".
+            raise ValueError(
+                f"unknown fault op {op!r}; expected one of {RULE_OPS}"
+            ) from None
         if not rules:
             return None
         self.consulted[op] = self.consulted.get(op, 0) + 1

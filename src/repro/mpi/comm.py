@@ -64,12 +64,19 @@ class Communicator:
         #: windows created over this communicator when faults are active
         self.retry = retry
         self._ranks = list(ranks) if ranks is not None else list(range(proc.nprocs))
-        if proc.rank not in self._ranks:
+        self._rank_set = frozenset(self._ranks)
+        if proc.rank not in self._rank_set:
             raise ValueError(f"rank {proc.rank} not in communicator group")
         if len(self._ranks) != proc.nprocs:
-            raise NotImplementedError(
-                "sub-communicators are not supported by the simulated runtime"
-            )
+            # The only proper subgroup the runtime supports is the ULFM
+            # shrink result: exactly the ranks that survived all crashes.
+            failed = getattr(proc, "failed_ranks", frozenset())
+            live = [r for r in range(proc.nprocs) if r not in failed]
+            if sorted(self._ranks) != live:
+                raise NotImplementedError(
+                    "sub-communicators are not supported by the simulated "
+                    "runtime (only shrinking to the post-failure survivors)"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -96,6 +103,26 @@ class Communicator:
     def time(self) -> float:
         """Current virtual time of the calling rank (seconds)."""
         return self._proc.clock
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """World ranks in this communicator's group."""
+        return tuple(self._ranks)
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """Group members that have crashed so far (local knowledge)."""
+        return frozenset(self._proc.failed_ranks) & self._rank_set
+
+    @property
+    def alive(self) -> tuple[int, ...]:
+        """Group members not known to have crashed."""
+        failed = self._proc.failed_ranks
+        return tuple(r for r in self._ranks if r not in failed)
+
+    def contains(self, rank: int) -> bool:
+        """Is ``rank`` (a world rank) a member of this communicator?"""
+        return rank in self._rank_set
 
     # ------------------------------------------------------------------
     def _tree_cost(self, nbytes: int) -> float:
@@ -136,6 +163,42 @@ class Communicator:
         live = [v for v in gathered if v is not None]
         return _REDUCERS[op](live)
 
+    # -- failure agreement / shrinking (ULFM-style) ---------------------
+    def agree_failures(self) -> frozenset[int]:
+        """Collectively agree on the failed-rank set (one sync round).
+
+        All live members contribute their local failure knowledge; the
+        union is returned to everyone.  May itself raise
+        :class:`~repro.runtime.RankRevokedError` if a member dies during
+        the agreement — callers loop (see :mod:`repro.recovery`).
+        """
+        views = self._proc.sync(
+            payload=self.failed_ranks,
+            extra_time=self._tree_cost(8 * self.size),
+        )
+        agreed: set[int] = set()
+        for v in views:
+            if v:
+                agreed |= v
+        return frozenset(agreed)
+
+    def shrink(self) -> "Communicator":
+        """Agree on the failures, then build the survivor communicator."""
+        failed = self.agree_failures()
+        survivors = [r for r in self._ranks if r not in failed]
+        return Communicator(
+            self._proc,
+            self._perf,
+            survivors,
+            faults=self.faults,
+            retry=self.retry,
+        )
+
     def _check_rank(self, rank: int) -> None:
-        if not 0 <= rank < self.size:
+        if not 0 <= rank < self._proc.nprocs:
             raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        if rank not in self._rank_set:
+            raise ValueError(
+                f"rank {rank} is not a member of this communicator "
+                f"(group {sorted(self._ranks)})"
+            )

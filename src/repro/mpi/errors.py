@@ -77,3 +77,32 @@ class StorageFault(FaultError):
     the access falls back to a direct get and, after repeated faults, the
     cache quarantines itself (see ``docs/resilience.md``).
     """
+
+
+class TargetFailedError(MPIError):
+    """An RMA operation targeted a rank that crashed permanently.
+
+    Raised fail-fast by the ``Recovery`` interceptor in the
+    :mod:`repro.rma` pipeline — no time is charged and no retry happens,
+    because crash-stop failures (unlike :class:`TransientNetworkError`)
+    never heal.  The caching engine may still satisfy reads from
+    epoch-consistent entries in ``serve-stale`` recovery mode, in which
+    case this error is not raised (see ``docs/resilience.md``).
+    """
+
+    def __init__(self, target: int, op: str = "op"):
+        super().__init__(
+            f"RMA {op} targets rank {target}, which crashed permanently"
+        )
+        self.target = target
+        self.op = op
+
+
+class WindowRevokedError(WindowError):
+    """The window was revoked after a failure; all further ops are refused.
+
+    The simulated analogue of ULFM's ``MPI_Win_revoke`` state: once any
+    rank calls :meth:`repro.mpi.window.Window.revoke`, every rank's
+    operations on that window raise this error until the survivors
+    re-create the window via :meth:`~repro.mpi.window.Window.shrink`.
+    """

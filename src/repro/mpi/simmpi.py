@@ -122,11 +122,20 @@ class SimMPI:
         Returns the list of per-rank return values.  The elapsed virtual
         time is available afterwards as :attr:`elapsed`.
         """
+        # Crash-stop rules resolve to concrete per-rank death times before
+        # the run starts (seeded, deterministic); an empty dict keeps the
+        # scheduler's crash machinery fully elided.
+        crashes = (
+            self.faults.crash_times(self.nprocs)
+            if self.faults is not None
+            else None
+        )
         world = SimWorld(
             self.nprocs,
             schedule=self.schedule,
             seed=self.schedule_seed,
             join_timeout=self.join_timeout,
+            crashes=crashes,
         )
         self._world = world
 
@@ -150,3 +159,10 @@ class SimMPI:
         if self._world is None:
             raise RuntimeError("no job has been run yet")
         return self._world.clocks
+
+    @property
+    def crashed(self) -> frozenset[int]:
+        """Ranks that crashed permanently during the last run."""
+        if self._world is None:
+            raise RuntimeError("no job has been run yet")
+        return frozenset(self._world.crashed)

@@ -46,8 +46,13 @@ import numpy as np
 from repro.faults import DEFAULT_RETRY_POLICY
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import BYTE, Datatype, from_numpy
-from repro.mpi.errors import EpochError, WindowError
-from repro.obs import Event, get_bus
+from repro.mpi.errors import (
+    EpochError,
+    TargetFailedError,
+    WindowError,
+    WindowRevokedError,
+)
+from repro.obs import WINDOW_REVOKED, Event, get_bus
 
 # Submodule imports (not the package) keep the repro.mpi <-> repro.rma
 # import graph acyclic regardless of which package is imported first.
@@ -93,6 +98,9 @@ class _WindowGroup:
         self.disp_units: list[int] = [1] * nprocs
         self.infos: list[Mapping[str, Any]] = [{}] * nprocs
         self.freed = False
+        #: set once any rank revokes the window after a failure; shared by
+        #: all per-rank views, so everyone's next op fails fast
+        self.revoked = False
 
 
 class Request:
@@ -170,6 +178,9 @@ class Window:
         #: the interceptor pipelines every op is issued through (repro.rma)
         self._data_pipe = build_data_pipeline(self)
         self._sync_pipe = build_sync_pipeline(self)
+        # Failure-report diagnostic: the scheduler appends each rank's open
+        # epoch state to DeadlockError / RankFailedError messages.
+        comm.proc.add_diagnostic(self._diagnostic)
 
     # ------------------------------------------------------------------
     # creation / destruction (collective)
@@ -203,16 +214,24 @@ class Window:
         shared = comm.allgather(
             {"buf": local, "du": disp_unit, "info": dict(info or {})}
         )
-        # Rank 0 constructs the shared group; every rank receives the same
-        # object through the broadcast, so win_id and the freed flag are
-        # genuinely shared state (one address space).
+        # The lowest member rank constructs the shared group (rank 0 on
+        # the world communicator, the lowest survivor after a shrink);
+        # every rank receives the same object through the broadcast, so
+        # win_id and the freed/revoked flags are genuinely shared state
+        # (one address space).  The gathered list is world-indexed with
+        # None at non-member slots, so the group stays world-sized and
+        # target ranks keep their world numbering across a shrink.
+        root = min(comm.ranks)
         group: _WindowGroup | None = None
-        if comm.rank == 0:
-            group = _WindowGroup(comm.size)
-            group.buffers = [s["buf"] for s in shared]
-            group.disp_units = [s["du"] for s in shared]
-            group.infos = [s["info"] for s in shared]
-        group = comm.bcast(group, root=0)
+        if comm.rank == root:
+            group = _WindowGroup(len(shared))
+            group.buffers = [
+                s["buf"] if s is not None else np.empty(0, np.uint8)
+                for s in shared
+            ]
+            group.disp_units = [s["du"] if s is not None else 1 for s in shared]
+            group.infos = [s["info"] if s is not None else {} for s in shared]
+        group = comm.bcast(group, root=root)
         return cls(comm, group)
 
     def free(self) -> None:
@@ -220,6 +239,50 @@ class Window:
         self._require_no_epoch("free")
         self._comm.barrier()
         self._group.freed = True
+
+    # ------------------------------------------------------------------
+    # failure handling (ULFM-style revoke / shrink)
+    # ------------------------------------------------------------------
+    def revoke(self) -> None:
+        """Revoke the window after a failure (MPI_Win_revoke analogue).
+
+        Non-collective: any rank may call it, the flag is shared, and every
+        rank's subsequent operations on this window raise
+        :class:`~repro.mpi.errors.WindowRevokedError` until the survivors
+        re-create the window with :meth:`shrink`.  Idempotent.
+        """
+        if not self._group.revoked:
+            self._group.revoked = True
+            if self._obs.enabled:
+                self._emit(
+                    WINDOW_REVOKED,
+                    failed=sorted(self._comm.proc.failed_ranks),
+                )
+
+    def shrink(self) -> "Window":
+        """Collectively re-create this window over the surviving ranks.
+
+        Agrees on the failed set (via :meth:`Communicator.shrink`), then
+        re-exposes this rank's buffer on a fresh window whose group holds
+        only survivors.  Target ranks keep their world numbering; the old
+        (typically revoked) window is left behind.
+        """
+        comm = self._comm.shrink()
+        return Window.create(
+            comm,
+            self.local_buffer,
+            disp_unit=self._group.disp_units[self._comm.rank],
+            info=self.info,
+        )
+
+    @property
+    def revoked(self) -> bool:
+        return self._group.revoked
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """Group members known (locally) to have crashed."""
+        return self._comm.failed_ranks
 
     # ------------------------------------------------------------------
     # introspection
@@ -280,7 +343,12 @@ class Window:
         if self._fence_active:
             raise EpochError("lock inside a fence epoch")
         self._locked.add(rank)
-        self._sync_pipe.issue(describe_lock(self, rank, lock_type))
+        try:
+            self._sync_pipe.issue(describe_lock(self, rank, lock_type))
+        except TargetFailedError:
+            # Refused fail-fast (dead target): the epoch never opened.
+            self._locked.discard(rank)
+            raise
 
     def lock_all(self) -> None:
         """Open a passive-target access epoch towards every rank."""
@@ -738,9 +806,22 @@ class Window:
             raise EpochError(f"{what} called inside an open access epoch")
 
     def _check_rank(self, rank: int) -> None:
-        if not 0 <= rank < self._comm.size:
+        if not 0 <= rank < self._comm.proc.nprocs:
             raise WindowError(f"target rank {rank} out of range [0, {self._comm.size})")
+        if not self._comm.contains(rank):
+            raise WindowError(
+                f"target rank {rank} is not in the window's group "
+                f"(survivors {sorted(self._comm.ranks)})"
+            )
 
     def _check_alive(self) -> None:
         if self._group.freed:
             raise WindowError("window has been freed")
+        if self._group.revoked:
+            raise WindowRevokedError(
+                f"window {self._group.win_id} was revoked after a rank "
+                "failure; shrink() to continue on the survivors"
+            )
+
+    def _diagnostic(self) -> str:
+        return f"win {self.win_id}: {self._epoch_state()}"

@@ -46,9 +46,11 @@ from repro.obs.events import (
     CACHE_EPOCH,
     CACHE_EVICT,
     CACHE_INVALIDATE,
+    CACHE_RECOVERED,
     FAULT_INJECTED,
     FAULT_RETRY,
     NET_TRANSFER,
+    RANK_CRASHED,
     RMA_ACCUMULATE,
     RMA_FENCE,
     RMA_FLUSH,
@@ -59,6 +61,7 @@ from repro.obs.events import (
     RMA_UNLOCK,
     SCHED_SWITCH,
     TRACE_GET,
+    WINDOW_REVOKED,
     Event,
 )
 from repro.obs.sinks import CallbackSink, JSONLSink, NullSink, RingBufferSink, Sink
@@ -74,6 +77,7 @@ __all__ = [
     "CACHE_EPOCH",
     "CACHE_EVICT",
     "CACHE_INVALIDATE",
+    "CACHE_RECOVERED",
     "CallbackSink",
     "Event",
     "EventBus",
@@ -82,6 +86,7 @@ __all__ = [
     "JSONLSink",
     "NET_TRANSFER",
     "NullSink",
+    "RANK_CRASHED",
     "RMA_ACCUMULATE",
     "RMA_FENCE",
     "RMA_FLUSH",
@@ -94,6 +99,7 @@ __all__ = [
     "SCHED_SWITCH",
     "Sink",
     "TRACE_GET",
+    "WINDOW_REVOKED",
     "capture",
     "get_bus",
     "virtual_time",

@@ -49,6 +49,9 @@ TRACE_GET = "trace.get"              #: a TracingWindow recorded a get
 FAULT_INJECTED = "fault.injected"    #: the fault injector fired at a site
 FAULT_RETRY = "fault.retry"          #: a faulted RMA op was retried (backoff)
 ANALYSIS_VIOLATION = "analysis.violation"  #: the RMA sanitizer found a hazard
+RANK_CRASHED = "rank.crashed"        #: a rank died permanently (crash-stop)
+WINDOW_REVOKED = "window.revoked"    #: a window was revoked after a failure
+CACHE_RECOVERED = "cache.recovered"  #: the cache recovered a dead rank's entries
 
 ALL_KINDS = frozenset(
     {
@@ -74,6 +77,9 @@ ALL_KINDS = frozenset(
         TRACE_GET,
         FAULT_INJECTED,
         FAULT_RETRY,
+        RANK_CRASHED,
+        WINDOW_REVOKED,
+        CACHE_RECOVERED,
     }
 )
 

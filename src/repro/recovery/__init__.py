@@ -1,0 +1,124 @@
+"""``repro.recovery`` — survivor-side helpers for crash-stop failures.
+
+The runtime's failure model is ULFM-flavoured crash-stop: a rank dies
+permanently at a planned virtual time (``FaultPlan`` ``crash`` rules),
+the scheduler revokes every in-flight and subsequent sync point exactly
+once per live rank (:class:`~repro.runtime.RankRevokedError`), and RMA
+data ops towards the dead rank fail fast with
+:class:`~repro.mpi.errors.TargetFailedError`.  What survivors then do —
+re-synchronise, agree on the failure set, shrink their communicator or
+window — is this module's job.
+
+Every helper here absorbs :class:`RankRevokedError` with the canonical
+*loop-until-stable* pattern: a revoked collective is simply retried, and
+because each live rank observes each crash exactly once, the loop
+terminates after at most one extra round per concurrent crash.  Code
+outside this package should call these helpers instead of hand-rolling
+``except RankRevokedError`` (the repo linter enforces this — rule
+ANL008 in :mod:`repro.analysis`): keeping the retry idiom in one place
+is what makes the recovery protocol auditable.
+
+Typical survivor flow around a sync that a crash may revoke::
+
+    from repro import recovery
+
+    if not recovery.completed(win.flush_all):
+        recovery.barrier(comm)          # re-align the survivors
+        failed = recovery.agree_failures(comm)
+        comm = recovery.shrink(comm)    # or: win = recovery.shrink_window(win)
+
+See ``docs/resilience.md`` for the full failure-model table and a worked
+chaos-crash example.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+from repro.mpi.errors import TargetFailedError, WindowRevokedError
+from repro.runtime import RankRevokedError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mpi.comm import Communicator
+    from repro.mpi.window import Window
+
+__all__ = [
+    "RankRevokedError",
+    "TargetFailedError",
+    "WindowRevokedError",
+    "agree_failures",
+    "barrier",
+    "completed",
+    "failed_ranks",
+    "retrying",
+    "shrink",
+    "shrink_window",
+    "survivors",
+]
+
+_T = TypeVar("_T")
+
+
+def retrying(op: Callable[[], _T]) -> _T:
+    """Run ``op`` until it completes without a sync revocation.
+
+    The canonical loop-until-stable pattern: each live rank observes each
+    crash exactly once, so the loop retries at most once per concurrent
+    crash before the collective goes through on the survivors.
+    """
+    while True:
+        try:
+            return op()
+        except RankRevokedError:
+            continue
+
+
+def completed(op: Callable[[], object]) -> bool:
+    """Run ``op`` once; ``False`` when a crash revoked it mid-sync.
+
+    The branch-friendly face of the protocol for application code: a
+    revoked phase returns ``False`` and the caller re-aligns (barrier,
+    agreement, shrink) instead of writing its own ``except
+    RankRevokedError`` handler.
+    """
+    try:
+        op()
+        return True
+    except RankRevokedError:
+        return False
+
+
+def barrier(comm: "Communicator") -> None:
+    """Barrier over the survivors, absorbing any revocations."""
+    retrying(comm.barrier)
+
+
+def agree_failures(comm: "Communicator") -> frozenset[int]:
+    """Collectively agree on the failed-rank set (revocation-safe)."""
+    return retrying(comm.agree_failures)
+
+
+def shrink(comm: "Communicator") -> "Communicator":
+    """Survivor communicator after agreement (revocation-safe)."""
+    return retrying(comm.shrink)
+
+
+def shrink_window(win: "Window") -> "Window":
+    """Recreate ``win`` over the survivor communicator (revocation-safe).
+
+    The window is revoked first (idempotent) so other survivors that race
+    into an op on the old window fail fast with
+    :class:`~repro.mpi.errors.WindowRevokedError` instead of hanging.
+    """
+    win.revoke()
+    return retrying(win.shrink)
+
+
+def survivors(comm: "Communicator") -> tuple[int, ...]:
+    """Group members not locally known to have crashed."""
+    return comm.alive
+
+
+def failed_ranks(comm: "Communicator") -> frozenset[int]:
+    """Locally known crashed members of ``comm`` (no sync performed)."""
+    return comm.failed_ranks

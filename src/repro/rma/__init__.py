@@ -20,6 +20,7 @@ from repro.rma.cache import (
     Adapt,
     CacheGetRequest,
     CachePipeline,
+    CacheRecovery,
     CacheStage,
     Consult,
     Degradation,
@@ -47,6 +48,7 @@ from repro.rma.interceptors import (
     Move,
     Obs,
     Pricing,
+    Recovery,
     Retry,
     build_data_pipeline,
     build_sync_pipeline,
@@ -59,6 +61,7 @@ __all__ = [
     "Adapt",
     "CacheGetRequest",
     "CachePipeline",
+    "CacheRecovery",
     "CacheStage",
     "Completion",
     "Consult",
@@ -74,6 +77,7 @@ __all__ = [
     "OpDescriptor",
     "Pipeline",
     "Pricing",
+    "Recovery",
     "Retry",
     "SYNC_KINDS",
     "build_cache_pipeline",

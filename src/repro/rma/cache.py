@@ -10,14 +10,21 @@ invert.
 
 Stage order for ``CachedWindow.get`` (see ``docs/architecture.md``)::
 
-    Accounting   before: sequence bookkeeping (seq, size sum)
-    Degradation  before: quarantine entry + degraded direct serve
-    Consult      before: cost-charged index lookup, full/partial hit serve
-    Miss         before: remote issue + insert/evict (always serves)
+    Accounting    before: sequence bookkeeping (seq, size sum)
+    CacheRecovery before: crash-stop handling for dead targets
+    Degradation   before: quarantine entry + degraded direct serve
+    Consult       before: cost-charged index lookup, full/partial hit serve
+    Miss          before: remote issue + insert/evict (always serves)
     --
-    Accounting   after:  cache.access emission + fault-counter fold
-    Degradation  after:  probe countdown / re-enable
-    Adapt        after:  adaptive controller check
+    Accounting    after:  cache.access emission + fault-counter fold
+    Degradation   after:  probe countdown / re-enable
+    Adapt         after:  adaptive controller check
+
+Stages must not raise between ``Accounting.before`` and the after
+passes — that would skip the ordered telemetry contract.  A stage that
+needs to fail the get records the exception on ``req.failure`` and
+returns a served size of 0; :meth:`CachePipeline.serve` raises it only
+after every ``after`` pass has run.
 
 The stages orchestrate; the structural machinery (cuckoo index, storage,
 eviction engine) stays on :class:`repro.core.window.CachedWindow`, which
@@ -59,6 +66,9 @@ class CacheGetRequest:
     quiet: bool = False      #: batch element: suppress the per-op event
     degraded: bool = False   #: served direct by the quarantined cache
     result: int = 0
+    #: deferred failure: raised by serve() after the after-passes ran, so
+    #: accounting/telemetry stay ordered even for refused gets
+    failure: Exception | None = None
     #: batch sinks (shared across one get_batch); None on the scalar path
     access_sink: list[dict[str, Any]] | None = None
     net_sink: list[OpDescriptor] | None = None
@@ -95,6 +105,8 @@ class CachePipeline:
                 break
         for stage in self.stages:
             stage.after(cw, req)
+        if req.failure is not None:
+            raise req.failure
         return req.result
 
 
@@ -125,6 +137,28 @@ class Accounting(CacheStage):
         else:
             cw._emit_access(req.target, req.disp, req.size)
         cw._sync_fault_counters()
+
+
+class CacheRecovery(CacheStage):
+    """Crash-stop handling: gets targeting a dead rank never reach Miss.
+
+    Elided on the hot path — ``before`` is a no-op until the underlying
+    world can fail at all (no fault plan with crash rules -> zero cost,
+    bit-identical behaviour).  Otherwise the request is routed to the
+    window's recovery logic: ``serve-stale`` serves exact-match pinned
+    entries read-only, everything else records a FAILING access and
+    defers a ``TargetFailedError`` via ``req.failure``.
+    """
+
+    name = "recovery"
+
+    def before(self, cw: "CachedWindow", req: CacheGetRequest) -> int | None:
+        if not cw._win._comm.proc.can_fail:
+            return None
+        cw._observe_failures()
+        if req.target not in cw._win._comm.proc.failed_ranks:
+            return None
+        return cw._serve_failed_target(req)
 
 
 class Degradation(CacheStage):
@@ -181,7 +215,16 @@ class Adapt(CacheStage):
 
 def build_cache_pipeline() -> CachePipeline:
     """The standard ``get_c`` stage sequence."""
-    return CachePipeline([Accounting(), Degradation(), Consult(), Miss(), Adapt()])
+    return CachePipeline(
+        [
+            Accounting(),
+            CacheRecovery(),
+            Degradation(),
+            Consult(),
+            Miss(),
+            Adapt(),
+        ]
+    )
 
 
 def describe_cached_get(

@@ -13,13 +13,53 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.mpi.errors import RMATimeoutError, TransientNetworkError, WindowError
+from repro.mpi.errors import (
+    RMATimeoutError,
+    TargetFailedError,
+    TransientNetworkError,
+    WindowError,
+)
 from repro.obs import FAULT_INJECTED, FAULT_RETRY, NET_TRANSFER, RMA_GET_BATCH
 from repro.rma.descriptor import OpDescriptor, _origin_bytes
 from repro.rma.pipeline import Handler, Interceptor, Pipeline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mpi.window import Window
+
+
+class Recovery(Interceptor):
+    """Crash-stop fail-fast: refuse operations towards dead ranks.
+
+    Outermost interceptor of both chains on a world that *can* lose ranks
+    (a crash plan is active): data ops and epoch-opening locks towards a
+    crashed target raise :class:`TargetFailedError` immediately — no time
+    is charged and no retry fires, because a crash-stop failure never
+    heals.  Completion syncs (flush/unlock) towards dead targets pass
+    through and complete gracefully: completion is local in this
+    simulation, and survivors must be able to close epochs that still
+    have entries cached from the victim (``serve-stale`` recovery mode).
+    On a crash-free world the frame is elided at bind time, keeping
+    fault-free runs bit-identical.
+    """
+
+    name = "recovery"
+
+    def bind(self, window: "Window", call_next: Handler) -> Handler:
+        proc = window._comm.proc
+        if not proc.can_fail:
+            return call_next
+
+        def run(desc: OpDescriptor) -> OpDescriptor:
+            target = desc.target
+            if (
+                target is not None
+                and (desc.is_data or desc.kind == "lock")
+                and target in proc.failed_ranks
+            ):
+                raise TargetFailedError(target, desc.kind)
+            return call_next(desc)
+
+        return run
 
 
 class Retry(Interceptor):
@@ -385,13 +425,16 @@ class EpochClose(Interceptor):
 
 def build_data_pipeline(window: "Window") -> Pipeline:
     """The standard data-op chain (see module docstring for ordering)."""
-    return Pipeline(window, [Retry(), Move(), FaultInjection(), Pricing(), Obs()])
+    return Pipeline(
+        window, [Recovery(), Retry(), Move(), FaultInjection(), Pricing(), Obs()]
+    )
 
 
 def build_sync_pipeline(window: "Window") -> Pipeline:
     """The standard sync-op chain."""
     return Pipeline(
-        window, [Retry(), FaultInjection(), Completion(), Obs(), EpochClose()]
+        window,
+        [Recovery(), Retry(), FaultInjection(), Completion(), Obs(), EpochClose()],
     )
 
 

@@ -16,8 +16,15 @@ machine.
 from repro.runtime.scheduler import (
     DeadlockError,
     RankFailedError,
+    RankRevokedError,
     SimProcess,
     SimWorld,
 )
 
-__all__ = ["DeadlockError", "RankFailedError", "SimProcess", "SimWorld"]
+__all__ = [
+    "DeadlockError",
+    "RankFailedError",
+    "RankRevokedError",
+    "SimProcess",
+    "SimWorld",
+]

@@ -25,6 +25,15 @@ Failure semantics: an exception in any rank aborts the world; the original
 traceback is re-raised from :meth:`SimWorld.run` wrapped in
 :class:`RankFailedError`.  A sync point that can never complete (some ranks
 finished, others waiting) raises :class:`DeadlockError`.
+
+Crash-stop semantics (the ``crashes`` map): a rank whose virtual clock
+reaches its crash time dies *permanently* — its thread unwinds, its result
+slot stays ``None``, and the world keeps running on the survivors.  Any
+sync point the victim would have joined is *revoked*: every live rank
+observes the failure exactly once as :class:`RankRevokedError` raised out
+of its next (or current) :meth:`SimProcess.sync`, after which survivor
+barriers require only the live ranks — the ULFM revoke/agree model (see
+:mod:`repro.recovery` for the user-facing helpers).
 """
 
 from __future__ import annotations
@@ -33,9 +42,9 @@ import random
 import threading
 import time
 from enum import Enum
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.obs import SCHED_SWITCH, Event, get_bus, virtual_time
+from repro.obs import RANK_CRASHED, SCHED_SWITCH, CallbackSink, Event, get_bus, virtual_time
 
 
 class DeadlockError(RuntimeError):
@@ -45,10 +54,33 @@ class DeadlockError(RuntimeError):
 class RankFailedError(RuntimeError):
     """Raised by :meth:`SimWorld.run` when a rank program raised."""
 
-    def __init__(self, rank: int, original: BaseException):
-        super().__init__(f"rank {rank} failed: {original!r}")
+    def __init__(self, rank: int, original: BaseException, detail: str = ""):
+        msg = f"rank {rank} failed: {original!r}"
+        if detail:
+            msg += "\n" + detail
+        super().__init__(msg)
         self.rank = rank
         self.original = original
+
+
+class RankRevokedError(RuntimeError):
+    """A sync point was revoked because a participant crashed permanently.
+
+    Raised *inside* surviving rank programs (out of :meth:`SimProcess.sync`)
+    exactly once per crash observation — the simulated analogue of ULFM's
+    ``MPI_ERR_PROC_FAILED``/``MPI_ERR_REVOKED``.  Survivors are expected to
+    agree on the failed set and continue over the remaining ranks via the
+    :mod:`repro.recovery` helpers rather than handling this ad hoc (lint
+    rule ANL008 enforces that).
+    """
+
+    def __init__(self, crashed: Iterable[int]):
+        self.crashed = frozenset(crashed)
+        ranks = ", ".join(str(r) for r in sorted(self.crashed))
+        super().__init__(
+            f"sync point revoked: rank(s) {ranks} crashed permanently; "
+            "continue over the survivors (repro.recovery)"
+        )
 
 
 class _Abort(BaseException):
@@ -56,6 +88,16 @@ class _Abort(BaseException):
 
     Derives from BaseException so user-level ``except Exception`` blocks in
     rank programs cannot swallow the abort.
+    """
+
+
+class _Crashed(BaseException):
+    """Internal: unwinds the thread of a rank that hit its crash time.
+
+    BaseException for the same reason as :class:`_Abort`; additionally the
+    per-process ``_crashing`` flag keeps ``finally:`` cleanup on the dying
+    rank (epoch closes, flushes) from re-charging time or re-blocking while
+    the stack unwinds.
     """
 
 
@@ -80,10 +122,47 @@ class SimProcess:
         self.clock = 0.0
         self._state = _State.READY
         self._sync_gen = -1
+        self._crash_at: float | None = None
+        self._crashing = False
+        self._diagnostics: list[Callable[[], str]] = []
 
     @property
     def nprocs(self) -> int:
         return self._world.nprocs
+
+    @property
+    def can_fail(self) -> bool:
+        """True when the world has a crash plan (any rank may die)."""
+        return self._world.can_fail
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """Ranks this process observes as crashed: crash time <= own clock.
+
+        Observation is *causal in virtual time*, not in execution order:
+        between sync points the scheduler runs each rank's segment as one
+        atomic slice, so the set of *actually unwound* threads at any
+        wall-clock instant depends on dispatch order.  Crash times are
+        resolved up front (deterministically) though, so "has rank r
+        failed?" is answered the way a real failure detector would: r's
+        planned death lies in this rank's past.  A failure detector built
+        on this is deterministic and dispatch-order independent.
+        """
+        world = self._world
+        if not world._crashes:
+            return frozenset()
+        clock = self.clock
+        return frozenset(r for r, t in world._crashes.items() if t <= clock)
+
+    def add_diagnostic(self, fn: Callable[[], str]) -> None:
+        """Register a callable whose string is appended to failure reports.
+
+        Layers above the scheduler (e.g. the MPI window) register their
+        open-state summaries here so :class:`DeadlockError` /
+        :class:`RankFailedError` messages can show what each rank was in
+        the middle of.
+        """
+        self._diagnostics.append(fn)
 
     def advance(self, dt: float) -> None:
         """Charge ``dt`` virtual seconds to this rank's clock.
@@ -93,7 +172,12 @@ class SimProcess:
         """
         if dt < 0:
             raise ValueError(f"negative time advance: {dt}")
+        if self._crashing:
+            return  # dead rank unwinding through cleanup: time stands still
         self.clock += dt
+        if self._crash_at is not None and self.clock >= self._crash_at:
+            self._crashing = True
+            raise _Crashed()
 
     def sync(self, payload: Any = None, extra_time: float = 0.0) -> list[Any]:
         """Payload-carrying barrier over all live ranks.
@@ -105,7 +189,18 @@ class SimProcess:
 
         This single primitive is the substrate for every MPI collective
         (barrier, bcast, allgather, allreduce, ...) in :mod:`repro.mpi`.
+
+        Under a crash plan, a sync may instead raise
+        :class:`RankRevokedError` (once per crash observation); afterwards
+        the barrier spans only the surviving ranks.
         """
+        if self._crashing:
+            raise _Crashed()
+        if self._crash_at is not None and self.clock >= self._crash_at:
+            # A sync-released clock can overshoot the death time without an
+            # intervening advance(); the victim dies at the sync entry.
+            self._crashing = True
+            raise _Crashed()
         return self._world._sync(self, payload, extra_time)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -130,6 +225,7 @@ class SimWorld:
         seed: int = 0,
         join_timeout: float = 30.0,
         wakeup: str = "targeted",
+        crashes: Mapping[int, float] | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -139,6 +235,12 @@ class SimWorld:
             raise ValueError(f"unknown wakeup mode: {wakeup}")
         if join_timeout <= 0:
             raise ValueError("join_timeout must be > 0")
+        crashes = dict(crashes) if crashes else {}
+        for rank, t in crashes.items():
+            if not 0 <= rank < nprocs:
+                raise ValueError(f"crash rank {rank} out of range [0, {nprocs})")
+            if t < 0:
+                raise ValueError(f"crash time for rank {rank} must be >= 0, got {t}")
         #: wall-clock budget for rank threads to terminate after the run
         #: settles; a rank still alive past it is reported, never ignored
         self.join_timeout = join_timeout
@@ -147,6 +249,18 @@ class SimWorld:
         self._rng = random.Random(seed)
         self.nprocs = nprocs
         self._procs = [SimProcess(self, r) for r in range(nprocs)]
+        #: resolved crash plan ({rank: virtual death time}); empty = no crashes
+        self._crashes = crashes
+        for rank, t in crashes.items():
+            self._procs[rank]._crash_at = t
+        #: ranks that have died so far (crash-stop; populated during run)
+        self.crashed: set[int] = set()
+        # Live ranks that have not yet observed the latest revocation; each
+        # gets exactly one RankRevokedError out of its next/current sync.
+        self._revoke_unobserved: set[int] = set()
+        #: last obs event seen per rank (failure diagnostics; only
+        #: populated while an obs capture is active)
+        self._last_events: dict[int, Event] = {}
         # One lock, many conditions: rank threads sleep on their own
         # condition so a dispatch wakes exactly one thread; the driver
         # (run()) sleeps on self._cond.  Broadcast mode aliases every
@@ -208,42 +322,94 @@ class SimWorld:
             )
             threads.append(t)
 
-        with self._cond:
+        # Record the last event each rank emitted so failure reports can
+        # say what every rank was doing.  Only piggybacks on an already
+        # active capture: attaching a recorder to a disabled bus would
+        # enable it and change the hot-path behaviour the tests pin down.
+        recorder: CallbackSink | None = None
+        if self._obs.enabled:
+            recorder = CallbackSink(self._note_event)
+            self._obs.attach(recorder)
+        try:
+            with self._cond:
+                for t in threads:
+                    t.start()
+                self._dispatch_next_locked()
+                self._cond.wait_for(
+                    lambda: all(p._state is _State.DONE for p in self._procs)
+                    or self._failure is not None
+                    or self._deadlock is not None
+                )
+            # One shared wall-clock deadline for all joins: a single hung rank
+            # must not multiply the wait by nprocs, and a rank that never
+            # terminates must surface as an error, not be silently ignored.
+            deadline = time.monotonic() + self.join_timeout
             for t in threads:
-                t.start()
-            self._dispatch_next_locked()
-            self._cond.wait_for(
-                lambda: all(p._state is _State.DONE for p in self._procs)
-                or self._failure is not None
-                or self._deadlock is not None
-            )
-        # One shared wall-clock deadline for all joins: a single hung rank
-        # must not multiply the wait by nprocs, and a rank that never
-        # terminates must surface as an error, not be silently ignored.
-        deadline = time.monotonic() + self.join_timeout
-        for t in threads:
-            t.join(timeout=max(0.0, deadline - time.monotonic()))
-        hung = [
-            self._procs[i] for i, t in enumerate(threads) if t.is_alive()
-        ]
-        if self._failure is not None:
-            # A recorded failure wins: the hung siblings are collateral.
-            rank, exc = self._failure
-            raise RankFailedError(rank, exc) from exc
-        if hung:
-            detail = ", ".join(
-                f"rank {p.rank} ({p._state.value}, clock={p.clock:.3e})"
-                for p in hung
-            )
-            raise DeadlockError(
-                f"{len(hung)} rank thread(s) did not terminate within "
-                f"{self.join_timeout}s after the run settled: {detail}"
-                + (f"; scheduler reported: {self._deadlock}" if self._deadlock else "")
-            )
-        if self._deadlock is not None:
-            raise DeadlockError(self._deadlock)
+                t.join(timeout=max(0.0, deadline - time.monotonic()))
+            hung = [
+                self._procs[i] for i, t in enumerate(threads) if t.is_alive()
+            ]
+            if self._failure is not None:
+                # A recorded failure wins: the hung siblings are collateral.
+                rank, exc = self._failure
+                raise RankFailedError(
+                    rank, exc, detail=self._rank_diagnostics([rank])
+                ) from exc
+            if hung:
+                detail = ", ".join(
+                    f"rank {p.rank} ({p._state.value}, clock={p.clock:.3e})"
+                    for p in hung
+                )
+                raise DeadlockError(
+                    f"{len(hung)} rank thread(s) did not terminate within "
+                    f"{self.join_timeout}s after the run settled: {detail}"
+                    + (
+                        f"; scheduler reported: {self._deadlock}"
+                        if self._deadlock
+                        else ""
+                    )
+                    + ("\n" + self._rank_diagnostics([p.rank for p in hung]))
+                )
+            if self._deadlock is not None:
+                raise DeadlockError(self._deadlock)
+        finally:
+            if recorder is not None:
+                self._obs.detach(recorder)
         virtual_time.note_run(self.max_clock)
         return results
+
+    @property
+    def can_fail(self) -> bool:
+        """True when this world was built with a non-empty crash plan."""
+        return bool(self._crashes)
+
+    def _note_event(self, event: Event) -> None:
+        # Ranks run one at a time, so plain dict writes are race-free.
+        if event.kind != SCHED_SWITCH:
+            self._last_events[event.rank] = event
+
+    def _rank_diagnostics(self, ranks: Iterable[int]) -> str:
+        """Per-rank failure context: last obs event + registered state."""
+        lines = []
+        for r in sorted(set(ranks)):
+            proc = self._procs[r]
+            ev = self._last_events.get(r)
+            if ev is not None:
+                desc = f"last event {ev.kind} @t={ev.time:.3e}"
+                if ev.attrs:
+                    desc += f" {dict(ev.attrs)}"
+            else:
+                desc = "last event unknown (no obs capture active)"
+            parts = [desc]
+            for fn in proc._diagnostics:
+                try:
+                    d = fn()
+                except Exception as e:  # a broken diagnostic must not mask
+                    d = f"<diagnostic failed: {e!r}>"  # the real failure
+                if d:
+                    parts.append(d)
+            lines.append(f"  rank {r}: " + "; ".join(parts))
+        return "\n".join(lines)
 
     @property
     def clocks(self) -> list[float]:
@@ -272,6 +438,12 @@ class SimWorld:
         try:
             results[proc.rank] = target(proc, *args, **kwargs)
         except _Abort:
+            return
+        except _Crashed:
+            # Crash-stop: the rank is gone, the world lives on.  Its result
+            # slot stays None and any in-flight sync point is revoked.
+            with self._cond:
+                self._record_crash_locked(proc)
             return
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
             with self._cond:
@@ -316,6 +488,41 @@ class SimWorld:
                 c.notify()
         self._cond.notify_all()
 
+    def _record_crash_locked(self, proc: SimProcess) -> None:
+        """Mark ``proc`` dead and revoke any sync point in flight.
+
+        The failure detector of the simulated world: the victim becomes
+        DONE (its result stays ``None``), every rank currently blocked in
+        a sync is released to observe :class:`RankRevokedError`, and all
+        other live ranks observe it at their next sync.  Survivor syncs
+        thereafter require only ``nprocs - len(crashed)`` participants.
+        """
+        proc._state = _State.DONE
+        self.crashed.add(proc.rank)
+        if self._obs.enabled:
+            self._obs.emit(
+                Event(
+                    RANK_CRASHED,
+                    proc.rank,
+                    proc.clock,
+                    attrs={"crash_at": proc._crash_at},
+                )
+            )
+        # Discard the partially formed sync point: its payload set can
+        # never be completed, and every observer restarts it anyway.
+        self._sync_payloads = {}
+        self._pending_extra = 0.0
+        self._revoke_unobserved = {
+            p.rank
+            for p in self._procs
+            if p._state is not _State.DONE
+        }
+        for p in self._procs:
+            if p._state is _State.BLOCKED:
+                p._state = _State.READY
+        self._notify_everyone_locked()
+        self._dispatch_next_locked()
+
     def _dispatch_next_locked(self) -> None:
         ready = [p for p in self._procs if p._state is _State.READY]
         if not ready:
@@ -326,7 +533,8 @@ class SimWorld:
                     "ranks "
                     + ", ".join(str(p.rank) for p in blocked)
                     + " are blocked in a sync point that can never complete "
-                    "(other ranks already finished)"
+                    "(other ranks already finished)\n"
+                    + self._rank_diagnostics(p.rank for p in blocked)
                 )
                 self._notify_everyone_locked()
             self._current = None
@@ -352,17 +560,23 @@ class SimWorld:
         with self._cond:
             if proc._state is not _State.RUNNING:
                 raise RuntimeError("sync() called by a non-running process")
+            if proc.rank in self._revoke_unobserved:
+                # An unobserved crash must surface before this rank joins
+                # any barrier; the proc stays RUNNING (it is still current)
+                # so its recovery code continues without a reschedule.
+                self._revoke_unobserved.discard(proc.rank)
+                raise RankRevokedError(self.crashed)
             gen = self._sync_gen
             self._sync_payloads[proc.rank] = payload
             self._pending_extra = max(self._pending_extra, extra_time)
             proc._state = _State.BLOCKED
 
-            # A sync point requires *every* rank of the world, exactly like
-            # an MPI collective: a rank that already returned from its
+            # A sync point requires *every live* rank of the world, exactly
+            # like an MPI collective: a rank that already returned from its
             # program can never participate, which the dispatcher reports
-            # as a deadlock.
+            # as a deadlock — while crashed ranks are excused, ULFM-style.
             blocked = [p for p in self._procs if p._state is _State.BLOCKED]
-            if len(blocked) == self.nprocs:
+            if len(blocked) == self.nprocs - len(self.crashed):
                 # Last arriver: release everyone (including self).
                 extra = self._pending_extra
                 self._pending_extra = 0.0
@@ -389,11 +603,28 @@ class SimWorld:
                     lambda: self._sync_gen > gen
                     or self._failure is not None
                     or self._deadlock is not None
+                    or proc.rank in self._revoke_unobserved
                 )
                 if self._failure is not None or self._deadlock is not None:
                     proc._state = _State.DONE
                     self._notify_everyone_locked()
                     raise _Abort()
+                if proc.rank in self._revoke_unobserved:
+                    # A participant died while we were blocked here: the
+                    # detector flipped us back to READY — queue for our
+                    # turn, then surface the revocation to the program.
+                    self._rank_conds[proc.rank].wait_for(
+                        lambda: self._current == proc.rank
+                        or self._failure is not None
+                        or self._deadlock is not None
+                    )
+                    if self._failure is not None or self._deadlock is not None:
+                        proc._state = _State.DONE
+                        self._notify_everyone_locked()
+                        raise _Abort()
+                    proc._state = _State.RUNNING
+                    self._revoke_unobserved.discard(proc.rank)
+                    raise RankRevokedError(self.crashed)
                 results = self._sync_results
 
             # Wait until the scheduler actually hands control back to us.

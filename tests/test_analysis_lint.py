@@ -350,6 +350,66 @@ class TestSuppression:
         assert rules_of(findings) == ["ANL001"]
 
 
+
+
+class TestRevocationHandlers:
+    BAD = """
+    try:
+        pass
+    except RankRevokedError:
+        pass
+    """
+
+    def test_flagged_outside_recovery(self, tmp_path):
+        findings = lint_snippet(tmp_path, "repro/apps/x.py", self.BAD)
+        assert rules_of(findings) == ["ANL008"]
+        assert "repro.recovery" in findings[0].message
+
+    def test_attribute_and_tuple_forms_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/x.py",
+            """
+            try:
+                pass
+            except (ValueError, errors.RankRevokedError):
+                pass
+            """,
+        )
+        assert rules_of(findings) == ["ANL008"]
+
+    def test_recovery_package_exempt(self, tmp_path):
+        assert lint_snippet(tmp_path, "repro/recovery/x.py", self.BAD) == []
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/x.py",
+            """
+            try:
+                pass
+            except RankRevokedError:  # analysis: allow(ANL008)
+                pass
+            """,
+        )
+        assert findings == []
+
+    def test_other_exceptions_unflagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/apps/x.py",
+            """
+            try:
+                pass
+            except ValueError:
+                pass
+            except Exception:
+                pass
+            """,
+        )
+        assert findings == []
+
+
 class TestDriver:
     def test_every_rule_has_a_description(self):
         assert set(RULES) == {
@@ -360,6 +420,7 @@ class TestDriver:
             "ANL005",
             "ANL006",
             "ANL007",
+            "ANL008",
         }
 
     def test_findings_sorted_and_rendered(self, tmp_path):

@@ -117,3 +117,61 @@ class TestHarnessPlumbing:
         assert lines
         kinds = {json.loads(line)["kind"] for line in lines}
         assert "fault.injected" in kinds
+
+
+class TestCrashScenario:
+    @pytest.fixture(scope="class")
+    def lcc_outcome(self):
+        from repro.faults.chaos import run_crash_lcc
+
+        return run_crash_lcc(seed=0, nprocs=4, scale=5)
+
+    def test_lcc_survives_a_crash(self, lcc_outcome):
+        o = lcc_outcome
+        assert o.ok
+        assert o.completed
+        assert o.survivors == o.nprocs - 1
+        assert 0 <= o.victim < o.nprocs
+
+    def test_lcc_unfired_plan_is_bit_identical(self, lcc_outcome):
+        assert lcc_outcome.unfired_identical
+
+    def test_lcc_recovery_counters_fired(self, lcc_outcome):
+        assert lcc_outcome.schema_ok
+        assert lcc_outcome.stats["rank_failures"] > 0
+
+    def test_barnes_hut_survives_a_crash(self):
+        from repro.faults.chaos import run_crash_barnes_hut
+
+        o = run_crash_barnes_hut(seed=0, nprocs=4, nbodies=96)
+        assert o.ok
+        assert o.survivors == o.nprocs - 1
+        assert o.unfired_identical
+        assert o.stats["rank_failures"] > 0
+
+    def test_render_crash_mentions_survivors_and_counters(self):
+        from repro.faults.chaos import CrashOutcome, render_crash
+
+        o = CrashOutcome(
+            name="lcc-crash",
+            nprocs=4,
+            victim=2,
+            completed=True,
+            survivors=3,
+            unfired_identical=True,
+            schema_ok=True,
+            clean_elapsed=1e-3,
+            crashed_elapsed=9e-4,
+            stats={
+                "rank_failures": 3,
+                "failed_target_gets": 5,
+                "recovered_gets": 7,
+                "recovery_pinned": 2,
+                "recovery_dropped": 0,
+            },
+        )
+        text = render_crash([o])
+        assert "survivors=3/4" in text
+        assert "rank 2 crashed" in text
+        assert "recovered_gets=7" in text
+        assert "OK" in text

@@ -104,3 +104,52 @@ class TestQuarantine:
         results = SimMPI(nprocs=2, faults=PRESSURE).run(_reuse_program)
         for _, snap, _ in results:
             assert snap["failing"] >= snap["degraded_gets"]
+
+
+class TestCrashVsDegradation:
+    """Crash-stop failures must not pollute the transient-fault machinery.
+
+    A get refused because its target crashed is not a storage fault: it
+    must not advance the quarantine streak, trip a quarantine, or mark
+    the cache degraded — it is counted separately (``failed_target_gets``).
+    """
+
+    def test_failed_target_gets_leave_quarantine_state_untouched(self):
+        from repro import recovery
+        from repro.mpi.errors import TargetFailedError
+
+        crash = FaultPlan.of(
+            FaultRule("crash", probability=1.0, ranks=(1,), t_start=1e-2),
+            seed=5,
+        )
+        cfg = Config(
+            mode=clampi.Mode.ALWAYS_CACHE,
+            quarantine_threshold=2,  # trigger-happy on purpose
+            recovery="invalidate",
+        )
+
+        def program(mpi):
+            win = clampi.window_allocate(mpi.comm_world, 1024, config=cfg)
+            recovery.barrier(mpi.comm_world)
+            if mpi.rank == 1:
+                mpi.compute(1.0)  # dies at t=1e-2
+                return None
+            mpi.compute(2e-2)
+            buf = np.empty(16)
+            win.lock_all()
+            # Far past quarantine_threshold: every one refused, none of
+            # them may count as a storage-fault streak.
+            for _ in range(8):
+                with pytest.raises(TargetFailedError):
+                    win.get(buf, 1, 0)
+            win.unlock_all()
+            snap = clampi.stats(win).snapshot()
+            assert snap["failed_target_gets"] == 8
+            assert snap["storage_faults"] == 0
+            assert snap["quarantines"] == 0
+            assert win._fault_streak == 0
+            assert not clampi.degraded(win)
+            return True
+
+        results = SimMPI(nprocs=3, faults=crash).run(program)
+        assert results == [True, None, True]

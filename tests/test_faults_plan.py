@@ -190,3 +190,51 @@ class TestRetryPolicy:
     def test_with_timeout(self):
         p = RetryPolicy().with_timeout(1e-3)
         assert p.op_timeout == 1e-3
+
+
+class TestCrashRules:
+    def test_crash_needs_finite_t_start(self):
+        with pytest.raises(ValueError, match="finite t_start"):
+            FaultRule("crash", probability=1.0, ranks=(1,), t_start=math.inf)
+
+    def test_crash_rejects_target_filter(self):
+        with pytest.raises(ValueError, match="cannot filter"):
+            FaultRule("crash", probability=1.0, ranks=(1,), targets=(0,), t_start=1e-3)
+
+    def test_crash_rejects_stall(self):
+        with pytest.raises(ValueError, match="meaningless for crash"):
+            FaultRule("crash", probability=1.0, ranks=(1,), t_start=1e-3, stall=1e-6)
+
+    def test_overlapping_crash_rules_rejected(self):
+        a = FaultRule("crash", probability=1.0, ranks=(1, 2), t_start=1e-3)
+        b = FaultRule("crash", probability=0.5, ranks=(2, 3), t_start=2e-3)
+        with pytest.raises(ValueError, match="overlapping crash rules"):
+            FaultPlan.of(a, b)
+
+    def test_unscoped_crash_rule_overlaps_everything(self):
+        a = FaultRule("crash", probability=0.1, t_start=1e-3)  # all ranks
+        b = FaultRule("crash", probability=1.0, ranks=(5,), t_start=2e-3)
+        with pytest.raises(ValueError, match="all ranks"):
+            FaultPlan.of(a, b)
+
+    def test_disjoint_crash_rules_allowed(self):
+        a = FaultRule("crash", probability=1.0, ranks=(1,), t_start=1e-3)
+        b = FaultRule("crash", probability=1.0, ranks=(2,), t_start=2e-3)
+        plan = FaultPlan.of(a, b)
+        assert plan.crash_times(4) == {1: 1e-3, 2: 2e-3}
+
+    def test_crash_times_certain_and_scoped(self):
+        plan = FaultPlan.of(
+            FaultRule("crash", probability=1.0, ranks=(2,), t_start=5e-4), seed=9
+        )
+        assert plan.crash_times(4) == {2: 5e-4}
+        assert plan.crash_times(2) == {}  # victim outside the job
+
+    def test_crash_times_deterministic_across_instances(self):
+        mk = lambda: FaultPlan.of(  # noqa: E731
+            FaultRule("crash", probability=0.5, t_start=1e-3), seed=11
+        )
+        assert mk().crash_times(16) == mk().crash_times(16)
+
+    def test_no_crash_rules_no_times(self):
+        assert FaultPlan.of(FaultRule("get", probability=0.1)).crash_times(8) == {}

@@ -1,0 +1,168 @@
+"""ULFM-style failure handling at the MPI layer.
+
+Crash-stop failures surface to RMA users in three ways (docs/resilience.md):
+ops targeting a dead rank fail fast with ``TargetFailedError`` (raised by
+the ``Recovery`` interceptor before any cost is charged), a revoked window
+refuses every op with ``WindowRevokedError``, and the survivors rebuild via
+``agree_failures``/``shrink`` — looped through the :mod:`repro.recovery`
+helpers, which own the ``RankRevokedError`` retry pattern (ANL008).
+"""
+
+import numpy as np
+import pytest
+
+from repro import recovery
+from repro.faults import FaultPlan, FaultRule
+from repro.mpi import SimMPI, Window
+from repro.mpi.errors import TargetFailedError, WindowRevokedError
+
+
+def _crash_plan(victim: int, t_start: float) -> FaultPlan:
+    return FaultPlan.of(
+        FaultRule("crash", probability=1.0, ranks=(victim,), t_start=t_start),
+        seed=1,
+    )
+
+
+class TestTargetFailedFastFail:
+    def test_ops_to_dead_target_fail_fast(self):
+        plan = _crash_plan(victim=1, t_start=1e-2)
+
+        def program(mpi):
+            win = Window.allocate(mpi.comm_world, 256)
+            recovery.barrier(mpi.comm_world)
+            if mpi.rank == 1:
+                mpi.compute(1.0)  # dies at t=1e-2 on the way
+                return None
+            mpi.compute(2e-2)  # move causally past the victim's death
+            assert mpi.comm_world.failed_ranks == frozenset({1})
+            with pytest.raises(TargetFailedError):
+                win.lock(1)  # lock epoch to a dead target: refused
+            win.lock_all()
+            buf = np.zeros(4)
+            t0 = mpi.time
+            with pytest.raises(TargetFailedError) as ei:
+                win.get(buf, 1, 0)
+            assert ei.value.target == 1
+            with pytest.raises(TargetFailedError):
+                win.put(buf, 1, 0)
+            # Fail-fast means fail-free: no virtual time was charged.
+            assert mpi.time == t0
+            # Completion syncs naming the dead target pass through — a
+            # serve-stale cache hit still completes its epoch.
+            win.flush(1)
+            # Ops between survivors are unaffected.
+            peer = 2 if mpi.rank == 0 else 0
+            win.get(buf, peer, 0)
+            win.flush(peer)
+            win.unlock_all()
+            return True
+
+        mpi = SimMPI(nprocs=3, faults=plan)
+        assert mpi.run(program) == [True, None, True]
+        assert mpi.crashed == frozenset({1})
+
+
+class TestWindowRevocation:
+    def test_revoked_window_refuses_ops(self):
+        def program(mpi):
+            win = Window.allocate(mpi.comm_world, 64)
+            mpi.comm_world.barrier()
+            win.lock_all()
+            buf = np.zeros(2)
+            win.get(buf, (mpi.rank + 1) % mpi.size, 0)  # pre-revoke: fine
+            win.flush_all()
+            mpi.comm_world.barrier()  # everyone past the pre-revoke ops
+            if mpi.rank == 0:
+                win.revoke()  # non-collective, shared flag
+            mpi.comm_world.barrier()
+            assert win.revoked
+            with pytest.raises(WindowRevokedError):
+                win.get(buf, (mpi.rank + 1) % mpi.size, 0)
+            with pytest.raises(WindowRevokedError):
+                win.flush_all()
+            return True
+
+        assert SimMPI(nprocs=2).run(program) == [True, True]
+
+    def test_revoke_is_idempotent(self):
+        def program(mpi):
+            win = Window.allocate(mpi.comm_world, 64)
+            mpi.comm_world.barrier()
+            win.revoke()
+            win.revoke()
+            return win.revoked
+
+        assert SimMPI(nprocs=2).run(program) == [True, True]
+
+
+class TestAgreementAndShrink:
+    def test_agree_shrink_and_continue_on_survivors(self):
+        plan = _crash_plan(victim=1, t_start=1e-2)
+
+        def program(mpi):
+            comm = mpi.comm_world
+            win = Window.allocate(comm, 8)
+            win.local_view(np.float64)[:] = float(mpi.rank)
+            recovery.barrier(comm)
+            if mpi.rank == 1:
+                mpi.compute(1.0)
+                return None
+            mpi.compute(2e-2)
+            assert recovery.failed_ranks(comm) == frozenset({1})
+            assert recovery.agree_failures(comm) == frozenset({1})
+            assert recovery.survivors(comm) == (0, 2)
+            new_win = recovery.shrink_window(win)
+            assert win.revoked  # the old window was revoked on the way
+            assert set(new_win.comm.ranks) == {0, 2}
+            # Survivors keep their world numbering on the shrunk window.
+            peer = 2 if mpi.rank == 0 else 0
+            buf = np.zeros(1)
+            new_win.lock_all()
+            new_win.get(buf, peer, 0)
+            new_win.flush(peer)
+            new_win.unlock_all()
+            assert buf[0] == float(peer)
+            return True
+
+        mpi = SimMPI(nprocs=3, faults=plan)
+        assert mpi.run(program) == [True, None, True]
+
+    def test_shrunk_comm_rejects_dead_member(self):
+        plan = _crash_plan(victim=2, t_start=1e-2)
+
+        def program(mpi):
+            comm = mpi.comm_world
+            recovery.barrier(comm)
+            if mpi.rank == 2:
+                mpi.compute(1.0)
+                return None
+            mpi.compute(2e-2)
+            new_comm = recovery.shrink(comm)
+            assert new_comm.ranks == (0, 1)
+            assert not new_comm.contains(2)
+            assert new_comm.allreduce(1) == 2  # collectives span survivors
+            return True
+
+        assert SimMPI(nprocs=3, faults=plan).run(program) == [True, True, None]
+
+
+class TestRecoveryHelpers:
+    def test_completed_reports_revocation(self):
+        plan = _crash_plan(victim=1, t_start=1e-2)
+
+        def program(mpi):
+            comm = mpi.comm_world
+            recovery.barrier(comm)
+            if mpi.rank == 1:
+                mpi.compute(1.0)
+                return None
+            # First post-crash sync is revoked exactly once; completed()
+            # absorbs it, the retry then spans only the survivors.
+            first = recovery.completed(comm.barrier)
+            second = recovery.completed(comm.barrier)
+            return (first, second)
+
+        results = SimMPI(nprocs=3, faults=plan).run(program)
+        assert results[0] == (False, True)
+        assert results[2] == (False, True)

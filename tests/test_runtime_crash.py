@@ -1,0 +1,145 @@
+"""Crash-stop semantics of the deterministic scheduler.
+
+A ``SimWorld`` built with ``crashes={rank: t}`` kills the victim when its
+virtual clock reaches ``t``: the thread unwinds, any blocked collective
+releases the survivors with ``RankRevokedError``, and the run completes
+with the survivors' results.  These tests pin the detector's contract:
+exactly-once revocation observation, *causal* (clock-based, dispatch-order
+independent) ``failed_ranks``, and bit-identity when no crash can fire.
+"""
+
+import pytest
+
+from repro import recovery
+from repro.runtime import RankRevokedError, SimWorld
+
+
+class TestCrashValidation:
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SimWorld(nprocs=2, crashes={5: 1e-6})
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            SimWorld(nprocs=2, crashes={0: -1.0})
+
+    def test_can_fail_flag(self):
+        assert not SimWorld(nprocs=2).can_fail
+        assert not SimWorld(nprocs=2, crashes={}).can_fail
+        assert SimWorld(nprocs=2, crashes={1: 1.0}).can_fail
+
+
+class TestCrashStop:
+    def test_victim_unwinds_survivors_complete(self):
+        def program(proc):
+            for _ in range(10):
+                proc.advance(1e-6)
+                recovery.retrying(proc.sync)
+            return proc.rank
+
+        world = SimWorld(nprocs=4, crashes={2: 3.5e-6})
+        results = world.run(program)
+        assert results == [0, 1, None, 3]
+        assert world.crashed == {2}
+
+    def test_blocked_sync_releases_survivors(self):
+        """The victim dies *inside* a barrier the others already joined."""
+
+        def program(proc):
+            if proc.rank == 1:
+                proc.advance(5e-6)  # dies here (crash at 2e-6)
+            recovery.retrying(proc.sync)
+            return "done"
+
+        world = SimWorld(nprocs=3, crashes={1: 2e-6})
+        results = world.run(program)
+        assert results == ["done", None, "done"]
+
+    def test_exactly_one_revocation_per_survivor(self):
+        observed = {0: 0, 2: 0}
+
+        def program(proc):
+            proc.advance(1e-6)
+            for _ in range(5):
+                while True:
+                    try:
+                        proc.sync()
+                        break
+                    except RankRevokedError:  # analysis: allow(ANL008)
+                        observed[proc.rank] += 1
+                proc.advance(1e-6)
+            return True
+
+        world = SimWorld(nprocs=3, crashes={1: 2.5e-6})
+        results = world.run(program)
+        assert results == [True, None, True]
+        assert observed == {0: 1, 2: 1}
+
+    def test_failed_ranks_is_causal_in_virtual_time(self):
+        """Observation depends on the observer's clock, not dispatch order.
+
+        Rank 0 runs its whole slice before the victim's thread ever
+        executes (smallest ``(clock, rank)`` dispatch), yet must already
+        observe the crash once its *own* clock passes the death time.
+        """
+        seen = {}
+
+        def program(proc):
+            if proc.rank == 1:
+                proc.advance(1.0)  # dies at t=0.5 on the way
+                return None
+            before = frozenset(proc.failed_ranks)
+            proc.advance(0.4)  # clock 0.4 < 0.5: causally unobservable
+            mid = frozenset(proc.failed_ranks)
+            proc.advance(0.2)  # clock 0.6 >= 0.5: observable
+            after = frozenset(proc.failed_ranks)
+            seen[proc.rank] = (before, mid, after)
+            return True
+
+        world = SimWorld(nprocs=2, crashes={1: 0.5})
+        world.run(program)
+        assert seen[0] == (frozenset(), frozenset(), frozenset({1}))
+
+    def test_no_crash_plan_failed_ranks_empty(self):
+        def program(proc):
+            assert proc.failed_ranks == frozenset()
+            proc.sync()
+
+        SimWorld(nprocs=2).run(program)
+
+    def test_armed_but_unfired_plan_is_bit_identical(self):
+        """A crash scheduled after the run ends must change nothing."""
+
+        def program(proc):
+            total = 0.0
+            for i in range(8):
+                proc.advance((proc.rank + 1) * 1e-6)
+                proc.sync(extra_time=1e-7)
+                total = proc.clock
+            return total
+
+        clean = SimWorld(nprocs=4)
+        clean_results = clean.run(program)
+        armed = SimWorld(nprocs=4, crashes={1: 1.0})  # far past the end
+        armed_results = armed.run(program)
+        assert armed_results == clean_results
+        assert armed.clocks == clean.clocks
+        assert armed.crashed == set()
+
+
+class TestRevocationErrorShape:
+    def test_error_names_crashed_ranks(self):
+        def program(proc):
+            if proc.rank == 1:
+                proc.advance(1.0)
+                return None
+            proc.advance(0.9)
+            try:
+                proc.sync()
+            except RankRevokedError as e:  # analysis: allow(ANL008)
+                return e.crashed
+            return None
+
+        world = SimWorld(nprocs=2, crashes={1: 0.5})
+        results = world.run(program)
+        assert results[0] == frozenset({1})

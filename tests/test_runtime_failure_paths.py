@@ -131,3 +131,81 @@ class TestHungThreadDetection:
         mpi = SimMPI(nprocs=2, join_timeout=0.25)
         assert mpi.join_timeout == 0.25
         mpi.run(lambda p: p.comm_world.barrier())  # normal runs unaffected
+
+
+class TestFailureDiagnostics:
+    """Failure reports carry per-rank context (docs/resilience.md)."""
+
+    def test_rank_failure_includes_epoch_state(self):
+        def program(mpi):
+            win = Window.allocate(mpi.comm_world, 128)
+            mpi.comm_world.barrier()
+            win.lock_all()
+            if mpi.rank == 0:
+                raise RuntimeError("mid-epoch failure")
+            win.unlock_all()
+            mpi.comm_world.barrier()
+
+        with pytest.raises(RankFailedError) as ei:
+            SimMPI(nprocs=2).run(program)
+        msg = str(ei.value)
+        assert "rank 0:" in msg
+        assert "lock_all held" in msg  # the open epoch at the failure
+        assert "epochs concluded" in msg
+
+    def test_no_capture_reports_last_event_unknown(self):
+        def program(proc):
+            raise ValueError("nope")
+
+        with pytest.raises(RankFailedError) as ei:
+            SimWorld(nprocs=1).run(program)
+        assert "last event unknown (no obs capture active)" in str(ei.value)
+
+    def test_active_capture_reports_last_event(self):
+        from repro import obs
+
+        def program(mpi):
+            win = Window.allocate(mpi.comm_world, 128)
+            mpi.comm_world.barrier()
+            buf = np.empty(4)
+            with win.lock_epoch(1 - mpi.rank):
+                win.get(buf, 1 - mpi.rank, 0)
+                win.flush(1 - mpi.rank)
+            if mpi.rank == 1:
+                raise RuntimeError("after the transfer")
+            mpi.comm_world.barrier()
+
+        with obs.capture():
+            with pytest.raises(RankFailedError) as ei:
+                SimMPI(nprocs=2).run(program)
+        msg = str(ei.value)
+        assert "rank 1: last event" in msg
+        assert "@t=" in msg
+
+    def test_deadlock_diagnostics_name_each_hung_rank(self):
+        def program(mpi):
+            win = Window.allocate(mpi.comm_world, 64)
+            mpi.comm_world.barrier()
+            win.lock_all()  # never closed
+            if mpi.rank != 0:
+                mpi.comm_world.barrier()  # rank 0 missing: deadlock
+
+        with pytest.raises(DeadlockError) as ei:
+            SimMPI(nprocs=2).run(program)
+        msg = str(ei.value)
+        assert "rank 1:" in msg
+        assert "lock_all held" in msg
+
+    def test_broken_diagnostic_does_not_mask_failure(self):
+        def program(proc):
+            def broken():
+                raise RuntimeError("diagnostic bug")
+
+            proc.add_diagnostic(broken)
+            raise KeyError("the real failure")
+
+        with pytest.raises(RankFailedError) as ei:
+            SimWorld(nprocs=1).run(program)
+        msg = str(ei.value)
+        assert isinstance(ei.value.original, KeyError)
+        assert "<diagnostic failed:" in msg
