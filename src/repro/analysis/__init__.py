@@ -13,7 +13,19 @@ cached get must never observe stale or racy data):
   ``python -m repro.analysis lint src/``) enforcing the project rules the
   deterministic simulator depends on — no wall-clock or unseeded
   randomness in hot paths, no bypassing the resilient RMA entry points,
-  every emitted obs event kind registered, no mutable default arguments.
+  every emitted obs event kind registered, no mutable default arguments;
+* a **flow-sensitive typestate verifier** (:mod:`repro.analysis.typestate`,
+  ``python -m repro.analysis verify src/ examples/``) that abstractly
+  interprets each function's CFG and proves the MPI-3 RMA epoch and
+  completion discipline *statically* — epochs closed on every path
+  including exception edges (ANL009), get results and put origins never
+  touched while pending (ANL010/ANL011), ops only issued under a provably
+  open epoch (ANL012).
+
+All static findings share one :class:`Diagnostic` record (severity,
+primary + related spans, fix-it hint, stable fingerprint) with text/json/
+SARIF emitters, a checked-in suppression baseline and mtime+hash
+incremental caching — see :mod:`repro.analysis.diagnostics`.
 
 Typical dynamic use::
 
@@ -42,8 +54,10 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.analysis.diagnostics import Diagnostic, Related, Rule
 from repro.analysis.epochs import EpochTracker
 from repro.analysis.lint import Finding, run_lint
+from repro.analysis.typestate import run_verify
 from repro.analysis.races import RaceDetector
 from repro.analysis.recorder import (
     OpRecord,
@@ -71,12 +85,16 @@ from repro.obs.events import (
 from repro.obs.sinks import Sink
 
 __all__ = [
+    "Diagnostic",
     "Finding",
     "OpRecord",
+    "Related",
+    "Rule",
     "Sanitizer",
     "Violation",
     "ViolationKind",
     "run_lint",
+    "run_verify",
     "sanitize",
 ]
 

@@ -1,16 +1,24 @@
-"""Analysis CLI: lint, offline capture replay, and sanitized app smoke.
+"""Analysis CLI: lint, typestate verify, capture replay, app smoke.
 
 Subcommands::
 
     python -m repro.analysis lint src/            # static repo-invariant lint
+    python -m repro.analysis verify src/ examples/  # epoch/flush typestate
+    python -m repro.analysis rules --check        # docs/analysis.md drift
     python -m repro.analysis report capture.jsonl # replay capture, report
     python -m repro.analysis smoke --strict       # LCC + Barnes-Hut sanitized
 
-``lint`` exits 1 when any finding survives suppression; ``report`` and
-``smoke`` exit 1 when the sanitizer records a violation, so all three wire
-directly into CI.  ``smoke --report PATH`` writes the violations as JSONL
-(one :meth:`repro.analysis.Violation.to_dict` object per line) for upload
-as a build artifact.
+``lint`` and ``verify`` share the diagnostics plumbing: ``--format
+text|json|sarif`` selects the emitter, ``--out`` writes the report to a
+file (always written, even when clean — CI uploads it as an artifact),
+``--baseline FILE`` filters out previously accepted findings by stable
+fingerprint, ``--write-baseline`` refreshes that file from the current
+findings, and ``--cache FILE`` enables mtime+hash incremental re-analysis.
+Both exit 1 when any non-baselined finding survives suppression; ``report``
+and ``smoke`` exit 1 when the sanitizer records a violation, so all of
+them wire directly into CI.  ``smoke --report PATH`` writes the violations
+as JSONL (one :meth:`repro.analysis.Violation.to_dict` object per line)
+for upload as a build artifact.
 """
 
 from __future__ import annotations
@@ -18,23 +26,119 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis.lint import RULES, run_lint
+def _emit(diags, args) -> None:
+    from repro.analysis.diagnostics import render
 
-    findings = run_lint(args.paths)
-    for f in findings:
-        print(f.render())
-    if findings:
-        rules = sorted({f.rule for f in findings})
+    text = render(diags, args.format)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} report to {args.out}")
+    elif args.format == "text":
+        print(text, end="")
+    else:
+        print(text)
+
+
+def _run_static(kind: str, args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import (
+        RULES,
+        AnalysisCache,
+        Baseline,
+        SEV_ERROR,
+    )
+    from repro.analysis.lint import _load_registry, run_lint
+    from repro.analysis.typestate import run_verify
+
+    cache = None
+    if args.cache:
+        if kind == "lint":
+            # ANL004 findings depend on the event registry, which is
+            # cross-file: fold it into the salt so registry edits
+            # invalidate every cached entry.
+            from repro.analysis.diagnostics import collect_files
+
+            registry, _ = _load_registry(collect_files(args.paths))
+            salt = AnalysisCache.make_salt(
+                kind, json.dumps(registry, sort_keys=True)
+            )
+        else:
+            salt = AnalysisCache.make_salt(kind)
+        cache = AnalysisCache(args.cache, salt)
+
+    runner = run_lint if kind == "lint" else run_verify
+    diags = runner(args.paths, cache=cache)
+    if cache is not None:
+        cache.save()
+
+    if args.write_baseline:
+        baseline = Baseline.from_diagnostics(diags)
+        baseline.write(args.baseline or "analysis-baseline.json")
         print(
-            f"\n{len(findings)} finding(s): "
+            f"baselined {len(baseline)} finding(s) to "
+            f"{args.baseline or 'analysis-baseline.json'}"
+        )
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+        kept = baseline.filter(diags)
+        baselined = len(diags) - len(kept)
+        diags = kept
+
+    _emit(diags, args)
+
+    errors = [d for d in diags if d.severity == SEV_ERROR]
+    if diags:
+        rules = sorted({d.rule for d in diags})
+        note = f" ({baselined} baselined)" if baselined else ""
+        print(
+            f"\n{len(diags)} finding(s){note}: "
             + "; ".join(f"{r} ({RULES[r]})" for r in rules),
             file=sys.stderr,
         )
+    elif not args.out:
+        tag = "lint" if kind == "lint" else "verify"
+        note = f" ({baselined} baselined)" if baselined else ""
+        print(f"{tag} clean{note} ({', '.join(str(p) for p in args.paths)})")
+    return 1 if errors else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _run_static("lint", args)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    return _run_static("verify", args)
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import (
+        docs_in_sync,
+        rules_markdown,
+        update_docs,
+    )
+
+    if args.check:
+        if docs_in_sync(args.docs):
+            print(f"{args.docs} rule table is in sync with the registry")
+            return 0
+        print(
+            f"{args.docs} rule table has drifted from the RULES registry; "
+            "run `python -m repro.analysis rules --write-docs`",
+            file=sys.stderr,
+        )
         return 1
-    print(f"lint clean ({', '.join(str(p) for p in args.paths)})")
+    if args.write_docs:
+        changed = update_docs(args.docs)
+        print(
+            f"{args.docs}: {'updated' if changed else 'already in sync'}"
+        )
+        return 0
+    print(rules_markdown(), end="")
     return 0
 
 
@@ -115,6 +219,36 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return status
 
 
+def _add_static_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "paths", nargs="+", help="files or directories to analyse (e.g. src/)"
+    )
+    sub.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    sub.add_argument(
+        "--out", default=None, help="write the report to this file"
+    )
+    sub.add_argument(
+        "--baseline",
+        default=None,
+        help="suppress findings whose fingerprint is in this baseline file",
+    )
+    sub.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh the baseline file from the current findings and exit 0",
+    )
+    sub.add_argument(
+        "--cache",
+        default=None,
+        help="mtime+hash incremental cache file (created if missing)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis", description=__doc__
@@ -122,10 +256,33 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     lint = sub.add_parser("lint", help="run the static repo-invariant linter")
-    lint.add_argument(
-        "paths", nargs="+", help="files or directories to lint (e.g. src/)"
-    )
+    _add_static_flags(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    verify = sub.add_parser(
+        "verify",
+        help="flow-sensitive epoch/flush typestate verification (ANL009-012)",
+    )
+    _add_static_flags(verify)
+    verify.set_defaults(func=_cmd_verify)
+
+    rules = sub.add_parser(
+        "rules", help="print or sync the generated ANL rule reference table"
+    )
+    rules.add_argument(
+        "--docs", default="docs/analysis.md", help="docs file with rule markers"
+    )
+    rules.add_argument(
+        "--write-docs",
+        action="store_true",
+        help="regenerate the rule table between the markers in --docs",
+    )
+    rules.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the docs rule table drifted from the registry",
+    )
+    rules.set_defaults(func=_cmd_rules)
 
     rep = sub.add_parser(
         "report", help="replay a JSONL capture through the sanitizer"

@@ -1,0 +1,387 @@
+"""Control-flow graphs over Python function bodies.
+
+The epoch/flush typestate verifier (:mod:`repro.analysis.typestate`) is a
+flow-sensitive abstract interpreter; this module gives it the graph.  A
+:class:`CFG` is built per function body (or module body) and models:
+
+* branches (``if``/``match``), loops (``for``/``while`` with back edges,
+  ``break``/``continue``, loop ``else``);
+* ``try``/``except``/``else``/``finally`` — statements inside a ``try``
+  get **exception edges** to every handler and to the ``finally``'s
+  exceptional copy, so state that was live mid-``try`` (e.g. "epoch
+  open") reaches the handlers;
+* ``with`` blocks — desugared to ``try``/``finally`` whose cleanup is a
+  synthetic :class:`WithExit` atom, so context-managed epochs close on
+  *every* edge out of the body, exceptional or not;
+* abrupt exits — ``return``/``break``/``continue`` route through every
+  enclosing ``finally`` (and ``with`` cleanup) before reaching their
+  target, exactly like the runtime does.
+
+Exception edges are deliberately *selective*: outside any ``try``/
+``with``, only an explicit ``raise`` jumps to the function's exceptional
+exit.  Treating every call as potentially raising would flag nearly all
+straight-line ``lock_all(); ...; unlock_all()`` code as a leak; the
+dynamic sanitizer covers that residue at runtime, while the verifier
+stays false-positive-free on idiomatic code.
+
+Blocks hold "atoms": ordinary simple statements, the *head* statement of
+a compound (only its test/iterator/items expression is interpreted), or
+a :class:`WithExit`.  Each block records its normal successors and its
+exception targets; the interpreter propagates the running state after
+each atom to the exception targets, giving statement-level precision
+with block-level edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+class WithExit:
+    """Synthetic cleanup atom for one ``with`` statement's ``__exit__``."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.With) -> None:
+        self.node = node
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WithExit(line={self.node.lineno})"
+
+
+Atom = "ast.stmt | WithExit"
+
+
+@dataclass
+class Block:
+    """A straight-line run of atoms with explicit successors."""
+
+    id: int
+    atoms: list = field(default_factory=list)
+    #: normal successors: (block id, edge kind) — kind in
+    #: {"next", "true", "false", "loop", "back", "return", "raise"}
+    succs: list = field(default_factory=list)
+    #: exception targets: state mid-block may jump to any of these
+    exc: list = field(default_factory=list)
+
+    def add_succ(self, dst: int, kind: str = "next") -> None:
+        if (dst, kind) not in self.succs:
+            self.succs.append((dst, kind))
+
+
+@dataclass
+class CFG:
+    """One function (or module) body as a graph."""
+
+    blocks: dict = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 0        #: normal-return exit (virtual, empty block)
+    raise_exit: int = 0  #: uncaught-exception exit (virtual, empty block)
+
+    def block(self, bid: int) -> Block:
+        return self.blocks[bid]
+
+    def preds(self, bid: int) -> list:
+        out = []
+        for b in self.blocks.values():
+            for dst, kind in b.succs:
+                if dst == bid:
+                    out.append((b.id, kind))
+            if bid in b.exc:
+                out.append((b.id, "exc"))
+        return out
+
+
+class _FinallyCtx:
+    """One enclosing ``finally`` (or ``with`` cleanup) abrupt exits must run."""
+
+    __slots__ = ("kind", "payload", "exc_targets")
+
+    def __init__(self, kind: str, payload, exc_targets: list) -> None:
+        self.kind = kind          # "finally" | "with"
+        self.payload = payload    # list[ast.stmt] | ast.With
+        self.exc_targets = exc_targets  # where its own exceptions go
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._next_id = 0
+        # virtual exits first so ids are stable
+        self.cfg.exit = self._new_block().id
+        self.cfg.raise_exit = self._new_block().id
+        #: stack of exception-target lists ([] outside any try/with)
+        self._exc_stack: list[list[int]] = []
+        #: stack of (break_target, continue_target, finally_depth)
+        self._loops: list[tuple[int, int, int]] = []
+        #: stack of _FinallyCtx, innermost last
+        self._finallies: list[_FinallyCtx] = []
+
+    # ------------------------------------------------------------------
+    def _new_block(self) -> Block:
+        b = Block(self._next_id)
+        self._next_id += 1
+        self.cfg.blocks[b.id] = b
+        return b
+
+    def _current_exc_targets(self) -> list[int]:
+        return self._exc_stack[-1] if self._exc_stack else []
+
+    def _atom(self, block: Block, node) -> None:
+        block.atoms.append(node)
+        for t in self._current_exc_targets():
+            if t not in block.exc:
+                block.exc.append(t)
+
+    # ------------------------------------------------------------------
+    def build(self, fn_body: list) -> CFG:
+        entry = self._new_block()
+        self.cfg.entry = entry.id
+        last = self._stmts(fn_body, entry)
+        if last is not None:
+            last.add_succ(self.cfg.exit, "next")
+        return self.cfg
+
+    def _stmts(self, stmts: list, current: Block | None) -> Block | None:
+        for stmt in stmts:
+            if current is None:
+                # unreachable code after return/raise/break — still build it
+                # so its own structure is sane, but nothing flows in.
+                current = self._new_block()
+            current = self._stmt(stmt, current)
+        return current
+
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt, current: Block) -> Block | None:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, ast.Return):
+            self._atom(current, stmt)
+            tail = self._run_finallies(current, 0)
+            tail.add_succ(self.cfg.exit, "return")
+            return None
+        if isinstance(stmt, ast.Raise):
+            self._atom(current, stmt)
+            targets = self._current_exc_targets()
+            if targets:
+                for t in targets:
+                    current.add_succ(t, "raise")
+            else:
+                tail = self._run_finallies(current, 0)
+                tail.add_succ(self.cfg.raise_exit, "raise")
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                break_t, _cont, depth = self._loops[-1]
+                tail = self._run_finallies(current, depth)
+                tail.add_succ(break_t, "next")
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                _break_t, cont_t, depth = self._loops[-1]
+                tail = self._run_finallies(current, depth)
+                tail.add_succ(cont_t, "back")
+            return None
+        # simple statement (incl. nested def/class, treated opaquely)
+        self._atom(current, stmt)
+        return current
+
+    # ------------------------------------------------------------------
+    def _run_finallies(self, current: Block, upto_depth: int) -> Block:
+        """Inline enclosing finally/with cleanups (innermost first) down to
+        ``upto_depth``; returns the block control ends in."""
+        for ctx in reversed(self._finallies[upto_depth:]):
+            nxt = self._new_block()
+            current.add_succ(nxt.id, "next")
+            current = nxt
+            if ctx.kind == "with":
+                self._atom(current, WithExit(ctx.payload))
+            else:
+                saved_exc = self._exc_stack
+                self._exc_stack = [ctx.exc_targets] if ctx.exc_targets else []
+                end = self._stmts(ctx.payload, current)
+                self._exc_stack = saved_exc
+                if end is None:
+                    end = self._new_block()  # finally itself diverged
+                current = end
+        return current
+
+    # ------------------------------------------------------------------
+    def _if(self, stmt: ast.If, current: Block) -> Block | None:
+        self._atom(current, stmt)  # interpreter reads stmt.test only
+        after = self._new_block()
+        body_entry = self._new_block()
+        current.add_succ(body_entry.id, "true")
+        body_end = self._stmts(stmt.body, body_entry)
+        if body_end is not None:
+            body_end.add_succ(after.id, "next")
+        if stmt.orelse:
+            else_entry = self._new_block()
+            current.add_succ(else_entry.id, "false")
+            else_end = self._stmts(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.add_succ(after.id, "next")
+        else:
+            current.add_succ(after.id, "false")
+        return after if self.cfg.preds(after.id) else None
+
+    def _loop(self, stmt, current: Block, head_atom) -> Block | None:
+        head = self._new_block()
+        current.add_succ(head.id, "next")
+        self._atom(head, head_atom)
+        after = self._new_block()
+        body_entry = self._new_block()
+        head.add_succ(body_entry.id, "loop")
+        self._loops.append((after.id, head.id, len(self._finallies)))
+        body_end = self._stmts(stmt.body, body_entry)
+        self._loops.pop()
+        if body_end is not None:
+            body_end.add_succ(head.id, "back")
+        if stmt.orelse:
+            else_entry = self._new_block()
+            head.add_succ(else_entry.id, "false")
+            else_end = self._stmts(stmt.orelse, else_entry)
+            if else_end is not None:
+                else_end.add_succ(after.id, "next")
+        else:
+            head.add_succ(after.id, "false")
+        return after if self.cfg.preds(after.id) else None
+
+    def _for(self, stmt, current: Block) -> Block | None:
+        return self._loop(stmt, current, stmt)
+
+    def _while(self, stmt: ast.While, current: Block) -> Block | None:
+        return self._loop(stmt, current, stmt)
+
+    def _match(self, stmt: ast.Match, current: Block) -> Block | None:
+        self._atom(current, stmt)  # interpreter reads stmt.subject only
+        after = self._new_block()
+        for case in stmt.cases:
+            case_entry = self._new_block()
+            current.add_succ(case_entry.id, "true")
+            case_end = self._stmts(case.body, case_entry)
+            if case_end is not None:
+                case_end.add_succ(after.id, "next")
+        current.add_succ(after.id, "false")  # no case may match
+        return after
+
+    # ------------------------------------------------------------------
+    def _with(self, stmt, current: Block) -> Block | None:
+        self._atom(current, stmt)  # interpreter opens epochs from stmt.items
+        # exceptional cleanup: body exceptions run __exit__ then propagate
+        exc_cleanup = self._new_block()
+        self._atom(exc_cleanup, WithExit(stmt))
+        outer_targets = self._current_exc_targets()
+        if outer_targets:
+            for t in outer_targets:
+                exc_cleanup.add_succ(t, "raise")
+        else:
+            exc_cleanup.add_succ(self.cfg.raise_exit, "raise")
+
+        body_entry = self._new_block()
+        current.add_succ(body_entry.id, "next")
+        self._exc_stack.append([exc_cleanup.id])
+        self._finallies.append(_FinallyCtx("with", stmt, outer_targets))
+        body_end = self._stmts(stmt.body, body_entry)
+        self._finallies.pop()
+        self._exc_stack.pop()
+
+        if body_end is None:
+            return None
+        normal_cleanup = self._new_block()
+        self._atom(normal_cleanup, WithExit(stmt))
+        body_end.add_succ(normal_cleanup.id, "next")
+        return normal_cleanup
+
+    # ------------------------------------------------------------------
+    def _try(self, stmt: ast.Try, current: Block) -> Block | None:
+        after = self._new_block()
+        outer_targets = self._current_exc_targets()
+
+        # exceptional finally copy (if any): runs, then propagates outward
+        fin_exc_entry: Block | None = None
+        if stmt.finalbody:
+            fin_exc_entry = self._new_block()
+            saved = self._exc_stack
+            self._exc_stack = [outer_targets] if outer_targets else []
+            fin_exc_end = self._stmts(stmt.finalbody, fin_exc_entry)
+            self._exc_stack = saved
+            if fin_exc_end is not None:
+                if outer_targets:
+                    for t in outer_targets:
+                        fin_exc_end.add_succ(t, "raise")
+                else:
+                    fin_exc_end.add_succ(self.cfg.raise_exit, "raise")
+
+        handler_entries: list[Block] = [
+            self._new_block() for _ in stmt.handlers
+        ]
+        body_targets = [b.id for b in handler_entries]
+        if fin_exc_entry is not None:
+            body_targets = body_targets + [fin_exc_entry.id]
+
+        def run_normal_finally(block: Block) -> Block | None:
+            if not stmt.finalbody:
+                return block
+            entry = self._new_block()
+            block.add_succ(entry.id, "next")
+            saved = self._exc_stack
+            self._exc_stack = [outer_targets] if outer_targets else []
+            end = self._stmts(stmt.finalbody, entry)
+            self._exc_stack = saved
+            return end
+
+        # --- body (and else) ---
+        body_entry = self._new_block()
+        current.add_succ(body_entry.id, "next")
+        self._exc_stack.append(body_targets)
+        if stmt.finalbody:
+            self._finallies.append(
+                _FinallyCtx("finally", stmt.finalbody, outer_targets)
+            )
+        body_end = self._stmts(stmt.body, body_entry)
+        if body_end is not None and stmt.orelse:
+            body_end = self._stmts(stmt.orelse, body_end)
+        self._exc_stack.pop()
+
+        # --- handlers: their own exceptions go to finally-exc or outward ---
+        handler_targets = (
+            [fin_exc_entry.id] if fin_exc_entry is not None else outer_targets
+        )
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self._exc_stack.append(handler_targets)
+            h_end = self._stmts(handler.body, entry)
+            self._exc_stack.pop()
+            if h_end is not None:
+                h_end = run_normal_finally(h_end)
+                if h_end is not None:
+                    h_end.add_succ(after.id, "next")
+        if stmt.finalbody:
+            self._finallies.pop()
+
+        if body_end is not None:
+            body_end = run_normal_finally(body_end)
+            if body_end is not None:
+                body_end.add_succ(after.id, "next")
+
+        return after if self.cfg.preds(after.id) else None
+
+
+def build_cfg(body: list) -> CFG:
+    """Build the CFG of one function/module body (a list of statements)."""
+    return _Builder().build(body)

@@ -48,16 +48,35 @@ Rules
     on every retry.
 
 A finding on a given line is suppressed by an ``# analysis: allow(ANLxxx)``
-comment on that line.  ``docs/analysis.md`` documents how to add a rule.
+comment on that line; a whole file opts out of a rule with
+``# analysis: allow-file(ANLxxx)``.  Stale suppressions are themselves
+reported (ANL013).  ``docs/analysis.md`` documents how to add a rule.
+
+The rule registry, the :class:`Diagnostic` record, suppression parsing,
+file walking and the text/json/SARIF emitters all live in
+:mod:`repro.analysis.diagnostics`; this module contributes the check
+functions and the lint driver.  ``Finding``/``RULES`` are re-exported for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
+
+from repro.analysis.diagnostics import (
+    LINT_RULES,
+    RULES,
+    Diagnostic,
+    Finding,
+    SuppressionIndex,
+    collect_files,
+    parse_file,
+    sort_diagnostics,
+)
+
+__all__ = ["Finding", "RULES", "lint_file", "run_lint"]
 
 #: Packages in which ANL001/ANL002 apply (virtual-time-critical hot paths).
 RESTRICTED_PACKAGES = ("core", "mpi", "net")
@@ -126,32 +145,6 @@ _WALL_CLOCK_TIME_FNS = frozenset(
     {"time", "monotonic", "perf_counter", "process_time"}
 )
 _WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
-
-_ALLOW_RE = re.compile(r"#\s*analysis:\s*allow\(\s*(ANL\d{3})\s*\)")
-
-RULES = {
-    "ANL001": "no wall-clock time sources in repro.core/mpi/net",
-    "ANL002": "RNGs in repro.core/mpi/net must be explicitly seeded",
-    "ANL003": "no calls to Window resilience internals outside repro.mpi",
-    "ANL004": "obs event kinds must be registered constants",
-    "ANL005": "no mutable default arguments",
-    "ANL006": "Window/CachedWindow op methods must not inline pipeline concerns",
-    "ANL007": "cache policy classes must not use wall clock or global RNG state",
-    "ANL008": "RankRevokedError may only be caught inside repro.recovery",
-}
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint violation."""
-
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
 
 
 # ---------------------------------------------------------------------------
@@ -477,34 +470,32 @@ def _check_mutable_defaults(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
 # driver
 # ---------------------------------------------------------------------------
 def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
-    files: list[Path] = []
-    for p in paths:
-        path = Path(p)
-        if path.is_dir():
-            files.extend(
-                f
-                for f in sorted(path.rglob("*.py"))
-                if "__pycache__" not in f.parts
-            )
-        else:
-            files.append(path)
-    return files
+    """Back-compat alias for :func:`repro.analysis.diagnostics.collect_files`."""
+    return collect_files(paths)
 
 
 def lint_file(
     path: Path, registry: dict[str, str]
 ) -> list[Finding]:
-    """All findings for one source file (suppressions applied)."""
-    src = path.read_text(encoding="utf-8")
-    tree = ast.parse(src, filename=str(path))
+    """All findings for one source file (suppressions applied).
+
+    Unparseable or unreadable files yield a single ANL000 diagnostic
+    instead of a traceback, so one bad file cannot take down a tree-wide
+    lint run.
+    """
+    tree, src, parse_diags = parse_file(path)
+    if tree is None:
+        return parse_diags
     posix = path.as_posix()
-    lines = src.splitlines()
 
     raw: list[tuple[int, str, str]] = []
+    evaluated: set[str] = {"ANL004", "ANL005", "ANL006"}
     if _is_restricted(posix):
+        evaluated |= {"ANL001", "ANL002"}
         raw.extend(_check_wall_clock(tree))
         raw.extend(_check_seeded_random(tree))
     if "repro/mpi/" not in posix:
+        evaluated.add("ANL003")
         raw.extend(_check_resilience_bypass(tree))
     raw.extend(
         _check_event_names(
@@ -514,26 +505,48 @@ def lint_file(
     raw.extend(_check_pipeline_purity(tree))
     if not _is_restricted(posix):
         # inside the restricted packages ANL001/ANL002 already flag these
+        evaluated.add("ANL007")
         raw.extend(_check_policy_purity(tree))
     if "repro/recovery/" not in posix:
+        evaluated.add("ANL008")
         raw.extend(_check_revocation_handlers(tree))
     raw.extend(_check_mutable_defaults(tree))
 
-    findings = []
-    for line, rule, message in raw:
-        text = lines[line - 1] if 0 < line <= len(lines) else ""
-        m = _ALLOW_RE.search(text)
-        if m and m.group(1) == rule:
-            continue
-        findings.append(Finding(str(path), line, rule, message))
+    supp = SuppressionIndex(str(path), src)
+    findings = supp.filter(
+        Diagnostic(str(path), line, rule, message, fix=RULES[rule].fix)
+        for line, rule, message in raw
+    )
+    findings.extend(supp.unused(evaluated & LINT_RULES))
     return findings
 
 
-def run_lint(paths: Iterable[str | Path]) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
-    files = _collect_files(paths)
+def run_lint(
+    paths: Iterable[str | Path], cache=None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings.
+
+    ``cache`` is an optional :class:`repro.analysis.diagnostics.AnalysisCache`
+    for mtime+hash incremental reuse; registry-consistency findings are
+    never cached (they are cross-file).
+    """
+    files = collect_files(paths)
     registry, findings = _load_registry(files)
     for f in files:
-        findings.extend(lint_file(f, registry))
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+        cached = None
+        src = None
+        if cache is not None:
+            try:
+                src = f.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                src = None
+            if src is not None:
+                cached = cache.get(f, src)
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        diags = lint_file(f, registry)
+        if cache is not None and src is not None:
+            cache.put(f, src, diags)
+        findings.extend(diags)
+    return sort_diagnostics(findings)

@@ -93,15 +93,16 @@ def _replay_program(
     if mpi.rank == 1:
         return None
     bufs = {s: np.empty(s, np.uint8) for _, s in gets}
-    win.lock_all()
-    for dsp, size in gets:
-        buf = bufs[size]
-        win.get(buf, 1, dsp)
-        win.flush(1)
-        expected = (np.arange(dsp, dsp + size) % 251).astype(np.uint8)
-        if not np.array_equal(buf, expected):
-            raise AssertionError(f"replay returned wrong data at dsp={dsp}")
-    win.unlock_all()
+    with win.lock_all_epoch():
+        for dsp, size in gets:
+            buf = bufs[size]
+            win.get(buf, 1, dsp)
+            win.flush(1)
+            expected = (np.arange(dsp, dsp + size) % 251).astype(np.uint8)
+            if not np.array_equal(buf, expected):
+                raise AssertionError(
+                    f"replay returned wrong data at dsp={dsp}"
+                )
     return win.stats.snapshot()
 
 

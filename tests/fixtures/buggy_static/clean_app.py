@@ -1,0 +1,52 @@
+"""Clean control fixture: correct epoch/flush discipline throughout.
+
+Exercises the patterns the verifier must NOT flag: scoped epoch context
+managers (exception-safe by construction), flush-before-read, explicit
+lock/unlock balanced on every path including the early return, a
+`recovery.retrying` bound-method helper, and request-completion via
+`Request.wait()`.
+"""
+
+import numpy as np
+
+from repro import recovery
+
+
+def halo_exchange(mpi, spec):
+    local = np.zeros(64, dtype=np.float64)
+    win = spec.make_window(mpi.comm_world, local)
+    buf = np.empty(64, dtype=np.float64)
+    with win.lock_all_epoch():
+        win.get(buf, (mpi.rank + 1) % mpi.nprocs, 0)
+        win.flush_all()
+        acc = float(buf.sum())
+    return acc
+
+
+def balanced_paths(mpi, win, skip):
+    buf = np.empty(8, dtype=np.float64)
+    win.lock(0)
+    if skip:
+        win.unlock(0)
+        return None
+    win.get(buf, 0, 0)
+    win.flush(0)
+    out = buf[0]
+    win.unlock(0)
+    return out
+
+
+def retry_helpers(mpi, win, peer):
+    buf = np.empty(4, dtype=np.float64)
+    with win.lock_all_epoch():
+        win.get(buf, peer, 0)
+        recovery.retrying(win.flush_all)
+        return float(buf[0])
+
+
+def request_completion(mpi, win, peer):
+    buf = np.empty(4, dtype=np.float64)
+    with win.lock_all_epoch():
+        req = win.rget(buf, peer, 0)
+        req.wait()
+        return float(buf[0])

@@ -1,0 +1,22 @@
+"""Seeded ANL009: the lock_all epoch leaks when validation raises.
+
+The `raise` on the short-read path escapes before `unlock_all` runs, so
+on that path the passive-target epoch is never closed.  The fix is a
+`with win.lock_all_epoch():` block (or try/finally).
+"""
+
+import numpy as np
+
+
+def gather_halo(mpi, spec, counts):
+    local = np.zeros(64, dtype=np.float64)
+    win = spec.make_window(mpi.comm_world, local)
+    out = np.empty(64, dtype=np.float64)
+    win.lock_all()
+    for peer, n in counts.items():
+        if n > 64:
+            raise ValueError(f"halo from {peer} too large: {n}")
+        win.get(out, peer, 0)
+        win.flush(peer)
+    win.unlock_all()
+    return out

@@ -1,0 +1,21 @@
+"""Seeded ANL012: an RMA op issued on a path with no open epoch.
+
+The early-peek branch calls `win.get` before `lock_all` ever runs; on
+that path no epoch is provably open and the MPI runtime would raise
+`RMA synchronization error`.
+"""
+
+import numpy as np
+
+
+def fetch_with_peek(mpi, spec, peek_first):
+    local = np.zeros(32, dtype=np.float64)
+    win = spec.make_window(mpi.comm_world, local)
+    buf = np.empty(32, dtype=np.float64)
+    if peek_first:
+        win.get(buf, 0, 0)
+    win.lock_all()
+    win.get(buf, 0, 0)
+    win.flush_all()
+    win.unlock_all()
+    return buf

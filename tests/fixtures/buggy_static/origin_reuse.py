@@ -1,0 +1,17 @@
+"""Seeded ANL011: a put's origin buffer is overwritten before flush.
+
+The second loop iteration rewrites `stage` while the previous put may
+still be reading from it; the transfer can ship a mix of old and new
+bytes.  Flush (or double-buffer) between puts.
+"""
+
+import numpy as np
+
+
+def scatter_updates(mpi, win, updates):
+    stage = np.zeros(16, dtype=np.float64)
+    with win.lock_all_epoch():
+        for peer, value in updates:
+            stage[:] = value
+            win.put(stage, peer, 0)
+        win.flush_all()

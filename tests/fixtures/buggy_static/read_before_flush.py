@@ -1,0 +1,19 @@
+"""Seeded ANL010: a get's result is consumed before any flush.
+
+`total += buf[0]` reads the destination while the get is still in
+flight; MPI-3 leaves the buffer contents undefined until the epoch is
+flushed or closed.
+"""
+
+import numpy as np
+
+
+def sum_remote(mpi, win, peers):
+    buf = np.empty(8, dtype=np.float64)
+    total = 0.0
+    with win.lock_all_epoch():
+        for peer in peers:
+            win.get(buf, peer, 0)
+            total += buf[0]
+        win.flush_all()
+    return total

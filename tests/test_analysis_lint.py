@@ -342,12 +342,55 @@ class TestSuppression:
         assert findings == []
 
     def test_allow_comment_is_rule_specific(self, tmp_path):
+        # the ANL005 allow does not silence ANL001 — and, being stale,
+        # it is itself reported (ANL013)
         findings = lint_snippet(
             tmp_path,
             "repro/core/x.py",
             "import time\nt = time.time()  # analysis: allow(ANL005)\n",
         )
-        assert rules_of(findings) == ["ANL001"]
+        assert rules_of(findings) == ["ANL001", "ANL013"]
+
+    def test_allow_comment_takes_a_rule_list(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            "import time, random\n"
+            "t = time.time() + random.random()"
+            "  # analysis: allow(ANL001, ANL002)\n",
+        )
+        assert findings == []
+
+    def test_file_level_allow_suppresses_whole_file(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            "# analysis: allow-file(ANL001)\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.monotonic()\n",
+        )
+        assert findings == []
+
+    def test_unused_suppression_warned(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            "x = 1  # analysis: allow(ANL005)\n",
+        )
+        assert rules_of(findings) == ["ANL013"]
+        assert findings[0].severity == "warning"
+        assert "ANL005" in findings[0].message
+
+    def test_unused_suppression_not_warned_out_of_rule_scope(self, tmp_path):
+        # ANL001 is never evaluated outside repro/{core,mpi,net}; an allow
+        # there is not "stale", the rule just does not patrol that path
+        findings = lint_snippet(
+            tmp_path,
+            "repro/bench/x.py",
+            "import time\nt = time.time()  # analysis: allow(ANL001)\n",
+        )
+        assert findings == []
 
 
 
@@ -410,18 +453,37 @@ class TestRevocationHandlers:
         assert findings == []
 
 
+class TestWalker:
+    def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
+        bad = "def f(x=[]):\n    return x\n"
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "ok.py").write_text("x = 1\n")
+        for skipped in ("__pycache__", ".hidden", ".git"):
+            d = tmp_path / "repro" / skipped
+            d.mkdir()
+            (d / "bad.py").write_text(bad)
+        assert run_lint([tmp_path]) == []
+
+    def test_unparseable_file_reported_not_raised(self, tmp_path):
+        f = tmp_path / "repro" / "broken.py"
+        f.parent.mkdir(parents=True)
+        f.write_text("def f(:\n")
+        findings = run_lint([tmp_path])
+        assert rules_of(findings) == ["ANL000"]
+        assert findings[0].path == str(f)
+        assert "does not parse" in findings[0].message
+
+    def test_undecodable_file_reported_not_raised(self, tmp_path):
+        f = tmp_path / "repro" / "binary.py"
+        f.parent.mkdir(parents=True)
+        f.write_bytes(b"\xff\xfe\x00bad\x80")
+        findings = run_lint([tmp_path])
+        assert rules_of(findings) == ["ANL000"]
+
+
 class TestDriver:
     def test_every_rule_has_a_description(self):
-        assert set(RULES) == {
-            "ANL001",
-            "ANL002",
-            "ANL003",
-            "ANL004",
-            "ANL005",
-            "ANL006",
-            "ANL007",
-            "ANL008",
-        }
+        assert set(RULES) == {f"ANL{n:03d}" for n in range(14)}
 
     def test_findings_sorted_and_rendered(self, tmp_path):
         findings = lint_snippet(
