@@ -161,13 +161,21 @@ RULES: dict[str, Rule] = dict(
             "must be removed",
             "delete the allow comment (the finding it silenced is gone)",
         ),
+        _rule(
+            "ANL014", "gated-event-construction", "repro.core/mpi/rma/runtime",
+            SEV_ERROR,
+            "hot-path modules may only construct Event() inside a kind-gated "
+            "_emit* helper",
+            "wrap the emission in an _emit* helper that checks bus.wants(kind) "
+            "before building the Event",
+        ),
     )
 )
 
 #: Rules produced by the repo-invariant linter pass.
 LINT_RULES = frozenset(
     {"ANL001", "ANL002", "ANL003", "ANL004", "ANL005", "ANL006", "ANL007",
-     "ANL008"}
+     "ANL008", "ANL014"}
 )
 #: Rules produced by the flow-sensitive typestate verifier pass.
 VERIFY_RULES = frozenset({"ANL009", "ANL010", "ANL011", "ANL012"})

@@ -39,6 +39,13 @@ Rules
     scores on the virtual-time-critical path.  Use ``ctx.seq_index`` /
     ``entry.last`` for recency and the seed handed to ``bind()`` for
     randomness.
+``ANL014`` **gated-event-construction** — inside the hot-path packages
+    (``repro.core``, ``repro.mpi``, ``repro.rma``, ``repro.runtime``)
+    telemetry :class:`~repro.obs.Event` objects may only be constructed
+    inside a ``_emit*`` helper, the convention for call sites that check
+    ``bus.wants(kind)`` first.  A raw ``Event(...)`` on an op path
+    allocates even when no sink consumes the kind, which is exactly the
+    per-op overhead the kind-gated telemetry discipline removes.
 ``ANL008`` **recovery-owns-revocation** — ``except`` clauses naming
     ``RankRevokedError`` are banned outside :mod:`repro.recovery`: the
     revocation exception marks a *permanent* crash, and ad-hoc handlers
@@ -80,6 +87,10 @@ __all__ = ["Finding", "RULES", "lint_file", "run_lint"]
 
 #: Packages in which ANL001/ANL002 apply (virtual-time-critical hot paths).
 RESTRICTED_PACKAGES = ("core", "mpi", "net")
+
+#: Packages in which ANL014 applies: the RMA data plane, where per-op
+#: Event construction must stay behind a kind-gated ``_emit*`` helper.
+HOT_PATH_PACKAGES = ("core", "mpi", "rma", "runtime")
 
 #: Resilience-layer internals of repro.mpi.window.Window (ANL003).
 RESILIENCE_INTERNALS = frozenset(
@@ -446,6 +457,48 @@ def _check_revocation_handlers(
                 )
 
 
+def _is_hot_path(posix_path: str) -> bool:
+    return any(f"repro/{pkg}/" in posix_path for pkg in HOT_PATH_PACKAGES)
+
+
+def _check_gated_event_construction(
+    tree: ast.Module,
+) -> Iterator[tuple[int, str, str]]:
+    """ANL014: hot-path Event() construction only inside ``_emit*`` helpers.
+
+    Flags calls to the bare ``Event`` name (and ``obs.Event`` /
+    ``events.Event`` attribute spellings) lexically outside a function
+    whose name starts with ``_emit``.  Helpers named ``_emit*`` are the
+    repo convention for kind-gated emission: they check
+    ``bus.wants(kind)`` before allocating, so sink-less runs build zero
+    Event objects on the op path.
+    """
+
+    def visit(
+        node: ast.AST, in_emit_helper: bool
+    ) -> Iterator[tuple[int, str, str]]:
+        for child in ast.iter_child_nodes(node):
+            inside = in_emit_helper
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # once lexically inside a gated helper, nested closures
+                # are covered by the same wants() check
+                inside = in_emit_helper or child.name.startswith("_emit")
+            if isinstance(child, ast.Call) and not in_emit_helper:
+                dotted = _dotted(child.func)
+                head, _, name = dotted.rpartition(".")
+                if name == "Event" and (
+                    not head or head.rpartition(".")[2] in ("obs", "events")
+                ):
+                    yield child.lineno, "ANL014", (
+                        "Event constructed outside a kind-gated _emit* "
+                        "helper in a hot-path package; route the emission "
+                        "through a helper that checks bus.wants(kind) first"
+                    )
+            yield from visit(child, inside)
+
+    yield from visit(tree, False)
+
+
 def _check_mutable_defaults(tree: ast.Module) -> Iterator[tuple[int, str, str]]:
     for node in ast.walk(tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -510,6 +563,9 @@ def lint_file(
     if "repro/recovery/" not in posix:
         evaluated.add("ANL008")
         raw.extend(_check_revocation_handlers(tree))
+    if _is_hot_path(posix):
+        evaluated.add("ANL014")
+        raw.extend(_check_gated_event_construction(tree))
     raw.extend(_check_mutable_defaults(tree))
 
     supp = SuppressionIndex(str(path), src)

@@ -13,6 +13,11 @@ optionally checked against a committed baseline.
 policy-matrix benchmark (see :mod:`repro.bench.policies`): every
 registered policy over the fig02-reuse, LCC and Barnes-Hut workloads,
 hit-rate + virtual-time tables to a JSON artifact.
+
+``python -m repro.bench profile`` aggregates per-rank-thread cProfile
+stats for figure workloads (see :mod:`repro.bench.profile`): top-N
+functions by tottime, optionally dumped to a JSON artifact — the hot-path
+costing tool behind ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -40,6 +45,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.policies import main as policies_main
 
         return policies_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.bench.profile import main as profile_main
+
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
     )

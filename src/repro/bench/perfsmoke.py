@@ -4,8 +4,9 @@ Runs a small, representative figure subset (fig01 latency, fig03 size
 distribution, fig15 LCC at reduced scale) plus a serial-vs-batched LCC
 pair, and writes one JSON artifact recording wall-clock and virtual time
 per entry.  The artifact seeds the repo's performance trajectory: CI runs
-this against the committed baseline (``BENCH_PR4.json``) and fails when
-total wall-clock regresses beyond the allowed factor.
+this against the committed baseline (``BENCH_PR9.json``) and fails when
+total wall-clock regresses beyond the allowed factor **or when any
+per-entry virtual time drifts at all** (see ``docs/performance.md``).
 
 Wall time measures *host* effort (what the pipeline refactor, targeted
 scheduler wakeups and batched gets optimise); virtual time measures the
@@ -107,7 +108,7 @@ def main(argv: list[str]) -> int:
         description="perf smoke subset; writes a JSON wall/virtual artifact",
     )
     parser.add_argument(
-        "--out", default="BENCH_PR4.json", help="artifact path to write"
+        "--out", default="BENCH_PR9.json", help="artifact path to write"
     )
     parser.add_argument(
         "--baseline",

@@ -1,0 +1,177 @@
+"""Hot-path profiler: ``python -m repro.bench profile``.
+
+The tooling behind the hot-path overhaul, made repeatable: the
+deterministic scheduler runs each rank on its own thread, so a single
+``cProfile`` around the driver only sees lock waits.  This harness
+installs one profiler per rank thread — wrapped around the
+:class:`~repro.runtime.scheduler.SimWorld` rank bodies — aggregates the
+per-thread stats and prints the top-N entries by internal time, which is
+exactly where per-op Python overhead (event construction, hashing,
+descriptor allocation) shows up.
+
+Usage::
+
+    python -m repro.bench profile             # fig15 at perfsmoke scale
+    python -m repro.bench profile fig03 --top 40 --out profile.json
+
+Any figure/ablation id accepted by ``python -m repro.bench`` can be
+profiled; the JSON artifact records the top-N rows so perf PRs can attach
+before/after profiles.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.bench.perfsmoke import SMOKE_LCC_SCALE
+
+#: Rows printed / recorded by default.
+DEFAULT_TOP = 30
+
+
+@contextmanager
+def rank_profilers() -> Iterator[list[cProfile.Profile]]:
+    """Profile every SimWorld rank body started inside the ``with`` block.
+
+    Yields the (initially empty) list of per-thread profilers; it fills as
+    rank threads finish.  The scheduler's ``_thread_main`` is restored on
+    exit.
+    """
+    from repro.runtime import scheduler as sched
+
+    orig = sched.SimWorld._thread_main
+    profs: list[cProfile.Profile] = []
+    lock = threading.Lock()
+
+    def patched(self, proc, target, args, kwargs, results):
+        prof = cProfile.Profile()
+
+        def wrapped(proc, *a, **k):
+            prof.enable()
+            try:
+                return target(proc, *a, **k)
+            finally:
+                prof.disable()
+
+        orig(self, proc, wrapped, args, kwargs, results)
+        with lock:
+            profs.append(prof)
+
+    sched.SimWorld._thread_main = patched
+    try:
+        yield profs
+    finally:
+        sched.SimWorld._thread_main = orig
+
+
+def aggregate(profs: list[cProfile.Profile]) -> pstats.Stats | None:
+    """Merge per-thread profiles into one :class:`pstats.Stats`."""
+    if not profs:
+        return None
+    st = pstats.Stats(profs[0])
+    for p in profs[1:]:
+        st.add(p)
+    return st
+
+
+def top_rows(st: pstats.Stats, top: int = DEFAULT_TOP) -> list[dict[str, Any]]:
+    """The ``top`` stats rows by internal time, JSON-friendly.
+
+    Thread-lock waits are dropped: rank threads block on the scheduler's
+    turn-taking lock, so ``_thread.lock.acquire`` records wall time that
+    is other ranks' work, not this rank's cost.
+    """
+    rows = []
+    for (fname, line, func), (cc, nc, tt, ct, _callers) in st.stats.items():
+        if "_thread.lock" in func or "_thread.RLock" in func:
+            continue
+        rows.append(
+            {
+                "function": f"{fname}:{line}({func})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda r: r["tottime_s"], reverse=True)
+    return rows[:top]
+
+
+def profile_call(
+    fn: Callable[[], Any], top: int = DEFAULT_TOP
+) -> tuple[Any, list[dict[str, Any]]]:
+    """Run ``fn`` with per-rank profilers; return (result, top rows)."""
+    with rank_profilers() as profs:
+        result = fn()
+    st = aggregate(profs)
+    return result, (top_rows(st, top) if st is not None else [])
+
+
+def _resolve_targets(names: list[str]) -> list[tuple[str, Callable[[], Any]]]:
+    from repro.bench.ablations import ALL_ABLATIONS
+    from repro.bench.figures import ALL_FIGURES, fig15_lcc_params
+
+    catalog: dict[str, Callable[[], Any]] = {**ALL_FIGURES, **ALL_ABLATIONS}
+    if not names:
+        # Default: the perfsmoke-scale LCC run that dominates the smoke
+        # wall time — the workload the hot-path invariants are pinned on.
+        return [
+            ("fig15", lambda: fig15_lcc_params(scale=SMOKE_LCC_SCALE))
+        ]
+    unknown = [n for n in names if n not in catalog]
+    if unknown:
+        raise SystemExit(
+            f"unknown profile targets: {unknown}; available: {list(catalog)}"
+        )
+    return [(n, catalog[n]) for n in names]
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench profile",
+        description="aggregate per-rank-thread cProfile of figure workloads",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        help="figure/ablation ids to profile (default: fig15 at smoke scale)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=DEFAULT_TOP,
+        help="rows to print/record, ranked by tottime",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the rows as a JSON artifact"
+    )
+    args = parser.parse_args(argv)
+
+    artifact: dict[str, Any] = {"top": args.top, "targets": {}}
+    for name, fn in _resolve_targets(args.figures):
+        _, rows = profile_call(fn, top=args.top)
+        artifact["targets"][name] = rows
+        print(f"== {name}: top {args.top} by tottime (all rank threads) ==")
+        print(
+            f"{'ncalls':>10s} {'tottime':>10s} {'cumtime':>10s}  function"
+        )
+        for r in rows:
+            print(
+                f"{r['ncalls']:>10d} {r['tottime_s']:>10.4f} "
+                f"{r['cumtime_s']:>10.4f}  {r['function']}"
+            )
+        print()
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0

@@ -80,15 +80,36 @@ class CuckooIndex:
         ]
         self._slots: list[Indexable | None] = [None] * capacity
         self._count = 0
+        # Candidate-slot memo: h_1..h_p are pure functions of the key (the
+        # coefficients and capacity are fixed for the table's lifetime), and
+        # workloads re-probe the same (trg, dsp) keys millions of times, so
+        # mixing + p modular hashes are computed once per distinct key.  The
+        # memo is bounded (cleared wholesale when full) so adversarial key
+        # streams cannot grow it without limit.
+        self._cand_memo: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._memo_limit = max(1024, 8 * capacity)
 
     # ------------------------------------------------------------------
+    def _candidates(self, key: tuple[int, int]) -> tuple[int, ...]:
+        """All p candidate slots of ``key``, memoized."""
+        c = self._cand_memo.get(key)
+        if c is None:
+            if len(self._cand_memo) >= self._memo_limit:
+                self._cand_memo.clear()
+            mix = _mix_key(key)
+            c = tuple(
+                ((a * mix + b) % _PRIME) % self.capacity
+                for a, b in self._coeffs
+            )
+            self._cand_memo[key] = c
+        return c
+
     def _hash(self, key: tuple[int, int], i: int) -> int:
-        a, b = self._coeffs[i]
-        return ((a * _mix_key(key) + b) % _PRIME) % self.capacity
+        return self._candidates(key)[i]
 
     def candidate_slots(self, key: tuple[int, int]) -> list[int]:
         """The p candidate slot indices of ``key`` (may contain repeats)."""
-        return [self._hash(key, i) for i in range(self.num_hashes)]
+        return list(self._candidates(key))
 
     # ------------------------------------------------------------------
     def lookup(self, key: tuple[int, int]) -> tuple[Indexable | None, int]:
@@ -97,10 +118,10 @@ class CuckooIndex:
         Worst-case constant time: at most ``p`` probes.
         """
         probes = 0
-        for i in range(self.num_hashes):
+        slots = self._slots
+        for slot in self._candidates(key):
             probes += 1
-            slot = self._hash(key, i)
-            e = self._slots[slot]
+            e = slots[slot]
             if e is not None and e.key == key:
                 return e, probes
         return None, probes
@@ -126,7 +147,7 @@ class CuckooIndex:
         last_slot = -1  # slot we were just displaced from (avoid ping-pong)
         for _ in range(self.max_iterations):
             # Try all candidate slots of the current item for a free one.
-            cands = self.candidate_slots(current.key)
+            cands = self._candidates(current.key)
             probes += len(cands)
             free = [s for s in cands if self._slots[s] is None]
             if free:

@@ -81,22 +81,28 @@ class EvictionEngine:
         self.miss_cost = miss_cost
         #: per-engine seeded stream — one independent RNG per window
         self._rng = random.Random(seed)
+        # One reusable context per engine: policy hooks fire once or more
+        # per get, so a fresh PolicyContext per decision costs millions of
+        # throwaway allocations per run.  Hooks treat the context as
+        # ephemeral (see PolicyContext docstring), so in-place field
+        # updates are observationally identical.
+        self._pooled_ctx = PolicyContext(
+            seq_index=0, avg_get_size=0.0, miss_cost=miss_cost
+        )
 
     # ------------------------------------------------------------------
     def _ctx(
         self, seq_index: int, avg_get_size: float, entry: CacheEntry | None = None
     ) -> PolicyContext:
-        d_c = (
+        ctx = self._pooled_ctx
+        ctx.seq_index = seq_index
+        ctx.avg_get_size = avg_get_size
+        ctx.adjacent_free = (
             self.storage.adjacent_free(entry.desc)
             if entry is not None and entry.desc
             else 0
         )
-        return PolicyContext(
-            seq_index=seq_index,
-            avg_get_size=avg_get_size,
-            adjacent_free=d_c,
-            miss_cost=self.miss_cost,
-        )
+        return ctx
 
     def score(self, entry: CacheEntry, seq_index: int, avg_get_size: float) -> float:
         """Entry score under the configured policy (lower = better victim)."""

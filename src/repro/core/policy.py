@@ -71,9 +71,15 @@ LEGACY_ALIASES = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass
 class PolicyContext:
-    """Read-only view of the cache state at a policy decision point."""
+    """View of the cache state at a policy decision point.
+
+    Treat it as **read-only and ephemeral**: the eviction engine reuses a
+    single mutable instance across decisions (millions per run), updating
+    the fields in place before each hook call.  Policies must not mutate
+    it or retain a reference past the hook's return.
+    """
 
     seq_index: int            #: position ``i`` in the get sequence ``C_w.G``
     avg_get_size: float       #: ``C_w.ags(i)`` — running average get size

@@ -456,7 +456,7 @@ class CachedWindow:
 
     def _emit_access(self, target_rank: int, target_disp: int, size: int) -> None:
         """One ``cache.access`` event per classified get_c."""
-        if not self.obs.enabled:
+        if not self.obs.wants(CACHE_ACCESS):
             return
         assert self.stats.last_access is not None
         self._emit(
@@ -549,7 +549,7 @@ class CachedWindow:
         if not self._evictor.admit(entry, self._seq, self.avg_get_size):
             self.stats.record_access(AccessType.FAILING)
             self.stats.record_admission_reject()
-            if self.obs.enabled:
+            if self.obs.wants(CACHE_ADMIT):
                 self._emit(
                     CACHE_ADMIT,
                     admitted=False,
@@ -631,7 +631,7 @@ class CachedWindow:
             self.stats.record_eviction(
                 sample.visited, sample.nonempty, conflict=False
             )
-            if self.obs.enabled:
+            if self.obs.wants(CACHE_EVICT):
                 self._emit(
                     CACHE_EVICT,
                     reason="capacity",
@@ -691,7 +691,7 @@ class CachedWindow:
                 self._drop_entry(homeless)
                 return homeless is not entry
             self.stats.record_eviction(0, 0, conflict=True)
-            if self.obs.enabled:
+            if self.obs.wants(CACHE_EVICT):
                 self._emit(
                     CACHE_EVICT,
                     reason="conflict",
@@ -737,7 +737,7 @@ class CachedWindow:
         self._fault_streak = 0
         self._probe_countdown = self.config.quarantine_probe_interval
         self.stats.record_quarantine()
-        if self.obs.enabled:
+        if self.obs.wants(CACHE_DEGRADED):
             self._emit(
                 CACHE_DEGRADED,
                 state="quarantined",
@@ -750,7 +750,7 @@ class CachedWindow:
         self._quarantined = False
         self._fault_streak = 0
         self._probe_countdown = 0
-        if self.obs.enabled:
+        if self.obs.wants(CACHE_DEGRADED):
             self._emit(CACHE_DEGRADED, state="re-enabled")
 
     def _serve_degraded(self, req: CacheGetRequest) -> int:
@@ -824,7 +824,7 @@ class CachedWindow:
                 self._drop_entry(e)
                 dropped += 1
             self.stats.record_rank_failure(pinned=pinned, dropped=dropped)
-            if self.obs.enabled:
+            if self.obs.wants(CACHE_RECOVERED):
                 self._emit(
                     CACHE_RECOVERED,
                     rank=rank,
@@ -906,7 +906,7 @@ class CachedWindow:
             self._invalidate_entries(targets, include_pinned=False)
 
         self._sync_fault_counters()
-        if self.obs.enabled:
+        if self.obs.wants(CACHE_EPOCH):
             # The hook runs before ``eph`` is bumped: the stamp names the
             # epoch being closed, matching the historical timeline samples.
             t = self.stats.total
@@ -952,7 +952,7 @@ class CachedWindow:
         self.cost.invalidate(live)
         self.stats.record_invalidation()
         self._sync_fault_counters()
-        if self.obs.enabled:
+        if self.obs.wants(CACHE_INVALIDATE):
             self._emit(CACHE_INVALIDATE, live=live)
 
     def check_invariants(self) -> None:
@@ -1029,7 +1029,7 @@ class CachedWindow:
         self._build_structures()
         self.cost.adjust(adj.index_entries, adj.storage_bytes)
         self.stats.record_adjustment()
-        if self.obs.enabled:
+        if self.obs.wants(CACHE_ADAPT):
             self._emit(
                 CACHE_ADAPT,
                 index_entries=adj.index_entries,

@@ -61,6 +61,7 @@ from repro.rma.descriptor import (
     describe_accumulate,
     describe_get,
     describe_get_batch,
+    describe_get_into,
     describe_lock,
     describe_put,
     describe_sync,
@@ -167,7 +168,7 @@ class Window:
         self._bytes_transferred = 0  #: diagnostic: payload bytes moved by gets/puts
         #: diagnostic: payload bytes per Distance class this rank moved
         self._bytes_by_distance: dict = {}
-        #: telemetry bus (process-global); hot paths gate on ``.enabled``
+        #: telemetry bus (process-global); hot paths gate on ``.wants(kind)``
         self._obs = get_bus()
         #: per-rank fault injector (None on a fault-free job) and the
         #: retry/backoff policy applied to transient failures
@@ -175,6 +176,17 @@ class Window:
         self._retry = getattr(comm, "retry", None) or DEFAULT_RETRY_POLICY
         self.faults_injected = 0  #: injected faults that raised on this window
         self.retries = 0          #: retry attempts performed on this window
+        #: (span, blocks) footprint memo keyed on (dtype, count) — see
+        #: repro.rma.descriptor._footprint
+        self._fp_memo: dict = {}
+        #: pooled descriptor frame for the dominant scalar-get path; taken
+        #: (set to None) while a get is in flight, restored afterwards, so
+        #: a million-get run reuses one frame instead of allocating one
+        #: per op.  Paths where the descriptor escapes (rget, batches,
+        #: layered issue()) never touch the pool.
+        self._scalar_desc: OpDescriptor | None = OpDescriptor(kind="get")
+        #: memoized per-target flush descriptors (see :meth:`flush`)
+        self._flush_descs: dict[int, OpDescriptor] = {}
         #: the interceptor pipelines every op is issued through (repro.rma)
         self._data_pipe = build_data_pipeline(self)
         self._sync_pipe = build_sync_pipeline(self)
@@ -253,7 +265,7 @@ class Window:
         """
         if not self._group.revoked:
             self._group.revoked = True
-            if self._obs.enabled:
+            if self._obs.wants(WINDOW_REVOKED):
                 self._emit(
                     WINDOW_REVOKED,
                     failed=sorted(self._comm.proc.failed_ranks),
@@ -411,8 +423,13 @@ class Window:
         """
         self._check_alive()
         self._require_epoch(rank, "flush")
-        self._sync_pipe.issue(
-            describe_sync(
+        # Per-target memo: a flush descriptor is a pure function of the
+        # target rank (its sets/attrs are read-only downstream), and tight
+        # get+flush loops issue hundreds of thousands of them.  Only the
+        # measured completion extent changes per issue; reset it.
+        desc = self._flush_descs.get(rank)
+        if desc is None:
+            desc = self._flush_descs[rank] = describe_sync(
                 self,
                 "flush",
                 target=rank,
@@ -420,7 +437,8 @@ class Window:
                 close_targets={rank},
                 emit_attrs={"target": rank},
             )
-        )
+        desc.duration = 0.0
+        self._sync_pipe.issue(desc)
 
     def flush_all(self) -> None:
         """Complete all outstanding ops without releasing any lock."""
@@ -608,8 +626,21 @@ class Window:
         the retry policy's attempt budget; re-issuing moves the same bytes,
         so results stay bit-identical to a fault-free run.
         """
-        desc = describe_get(self, origin, target_rank, target_disp, count, datatype)
-        return self._data_pipe.issue(desc).result
+        desc = self._scalar_desc
+        if desc is None:  # re-entrant get (defensive): fall back to a fresh frame
+            desc = describe_get(
+                self, origin, target_rank, target_disp, count, datatype
+            )
+            return self._data_pipe.issue(desc).result
+        self._scalar_desc = None
+        try:
+            describe_get_into(
+                desc, self, origin, target_rank, target_disp, count, datatype
+            )
+            self._data_pipe.issue(desc)
+            return desc.result
+        finally:
+            self._scalar_desc = desc
 
     def get_batch(self, requests: Sequence[tuple]) -> list[int]:
         """Issue a batch of gets in one pass; returns per-op payload bytes.

@@ -29,6 +29,20 @@ from repro.obs.events import Event
 class Sink:
     """Base class: receives events; ``close`` releases resources."""
 
+    #: Event kinds this sink consumes; ``None`` means every kind.  The
+    #: bus unions these over attached enabling sinks into its per-kind
+    #: gate (``bus.wants``), so hot paths skip constructing events no
+    #: sink would keep.  ``handle`` may still see other kinds (delivery
+    #: is per-bus, not per-sink) and must self-filter if it cares.
+    kinds: frozenset[str] | None = None
+
+    #: A passive sink receives whatever events *other* sinks caused to be
+    #: constructed but contributes nothing to the bus kind-gate: attaching
+    #: it never widens ``bus.wants`` (nor enables a disabled bus).  Used
+    #: by piggybacking observers like the scheduler's failure-report
+    #: recorder, which must not change hot-path allocation behaviour.
+    passive: bool = False
+
     def handle(self, event: Event) -> None:
         raise NotImplementedError
 
@@ -80,10 +94,16 @@ class CallbackSink(Sink):
     """Calls ``fn(event)`` for every event (of the given kinds)."""
 
     def __init__(
-        self, fn: Callable[[Event], None], kinds: Iterable[str] | None = None
+        self,
+        fn: Callable[[Event], None],
+        kinds: Iterable[str] | None = None,
+        passive: bool = False,
     ):
         self._fn = fn
         self._kinds = frozenset(kinds) if kinds is not None else None
+        #: advertised to the bus kind-gate: only these kinds need exist
+        self.kinds = self._kinds
+        self.passive = passive
 
     def handle(self, event: Event) -> None:
         if self._kinds is None or event.kind in self._kinds:

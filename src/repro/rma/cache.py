@@ -288,7 +288,7 @@ def emit_cache_batch(
     cw: "CachedWindow", records: list[dict[str, Any]]
 ) -> None:
     """One ``cache.access_batch`` accounting event for a ``get_batch``."""
-    if not records or not cw.obs.enabled:
+    if not records or not cw.obs.wants(CACHE_ACCESS_BATCH):
         return
     cw._emit(
         CACHE_ACCESS_BATCH,

@@ -120,10 +120,24 @@ def _origin_bytes(origin: np.ndarray) -> np.ndarray:
 def _footprint(
     window: "Window", target: int, disp: int, count: int, dtype: Datatype
 ) -> tuple[int, int, list]:
-    """(base, span, blocks) of the op at the target, in target-window bytes."""
-    blocks = dtype.flatten(count)
-    span = blocks[-1][0] + blocks[-1][1] if blocks else 0
-    return disp * window._group.disp_units[target], span, blocks
+    """(base, span, blocks) of the op at the target, in target-window bytes.
+
+    ``(span, blocks)`` is a pure function of ``(dtype, count)``, so it is
+    memoized per window — applications issue millions of gets over a
+    handful of datatype/count shapes.  The shared block list is read-only
+    by contract (the move interceptor only iterates it).  The memo is
+    bounded: cleared wholesale if an adversarial stream of shapes fills it.
+    """
+    memo = window._fp_memo
+    key = (dtype, count)
+    fp = memo.get(key)
+    if fp is None:
+        if len(memo) >= 512:
+            memo.clear()
+        blocks = dtype.flatten(count)
+        span = blocks[-1][0] + blocks[-1][1] if blocks else 0
+        fp = memo[key] = (span, blocks)
+    return disp * window._group.disp_units[target], fp[0], fp[1]
 
 
 def describe_get(
@@ -138,6 +152,36 @@ def describe_get(
     validate_epoch: bool = True,
 ) -> OpDescriptor:
     """Validate and describe one get (checks ordered as the op method did)."""
+    return describe_get_into(
+        OpDescriptor(kind="get"),
+        window,
+        origin,
+        target_rank,
+        target_disp,
+        count,
+        datatype,
+        quiet=quiet,
+        validate_epoch=validate_epoch,
+    )
+
+
+def describe_get_into(
+    desc: OpDescriptor,
+    window: "Window",
+    origin: np.ndarray,
+    target_rank: int,
+    target_disp: int,
+    count: int | None,
+    datatype: Datatype | None,
+    *,
+    quiet: bool = False,
+    validate_epoch: bool = True,
+) -> OpDescriptor:
+    """:func:`describe_get` into a caller-provided (pooled) descriptor.
+
+    Every field a previous use may have set is re-assigned, so a recycled
+    frame is indistinguishable from a fresh ``OpDescriptor(kind="get")``.
+    """
     dtype, count = window._resolve_dtype(origin, count, datatype)
     window._check_alive()
     window._check_rank(target_rank)
@@ -146,22 +190,25 @@ def describe_get(
     if target_disp < 0:
         raise WindowError(f"negative displacement: {target_disp}")
     base, span, blocks = _footprint(window, target_rank, target_disp, count, dtype)
-    return OpDescriptor(
-        kind="get",
-        target=target_rank,
-        disp=target_disp,
-        count=count,
-        dtype=dtype,
-        nbytes=dtype.transfer_size(count),
-        base=base,
-        span=span,
-        blocks=blocks,
-        origin=origin,
-        fault_site="get",
-        retryable=True,
-        quiet=quiet,
-        emit_kind=RMA_GET,
-    )
+    desc.kind = "get"
+    desc.target = target_rank
+    desc.disp = target_disp
+    desc.count = count
+    desc.dtype = dtype
+    desc.nbytes = dtype.transfer_size(count)
+    desc.base = base
+    desc.span = span
+    desc.blocks = blocks
+    desc.origin = origin
+    desc.obuf = None
+    desc.fault_site = "get"
+    desc.retryable = True
+    desc.quiet = quiet
+    desc.emit_kind = RMA_GET
+    desc.result = 0
+    desc.duration = 0.0
+    desc.pending_op = None
+    return desc
 
 
 def describe_put(

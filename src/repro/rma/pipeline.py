@@ -50,13 +50,27 @@ def _terminal(desc: OpDescriptor) -> OpDescriptor:
 
 
 class Pipeline:
-    """An interceptor chain bound to one window."""
+    """An interceptor chain bound to one window.
 
-    def __init__(self, window: "Window", interceptors: list[Interceptor]):
+    ``handler`` overrides per-stage binding with a pre-compiled (fused)
+    closure semantically equivalent to the declared chain — bind-time
+    chain compilation for hot-path windows (fault-free data/sync ops).
+    The ``interceptors``/``stages`` introspection still reports the
+    declared chain either way.
+    """
+
+    def __init__(
+        self,
+        window: "Window",
+        interceptors: list[Interceptor],
+        handler: Handler | None = None,
+    ):
         self.interceptors = tuple(interceptors)
-        handler: Handler = _terminal
-        for icpt in reversed(self.interceptors):
-            handler = icpt.bind(window, handler)
+        self.fused = handler is not None
+        if handler is None:
+            handler = _terminal
+            for icpt in reversed(self.interceptors):
+                handler = icpt.bind(window, handler)
         self._handler = handler
 
     @property

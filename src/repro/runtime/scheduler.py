@@ -328,7 +328,9 @@ class SimWorld:
         # enable it and change the hot-path behaviour the tests pin down.
         recorder: CallbackSink | None = None
         if self._obs.enabled:
-            recorder = CallbackSink(self._note_event)
+            # passive: must not widen the per-kind gate (or re-enable a
+            # disabled bus) — it only sees what the active capture built
+            recorder = CallbackSink(self._note_event, passive=True)
             self._obs.attach(recorder)
         try:
             with self._cond:
@@ -387,6 +389,32 @@ class SimWorld:
         # Ranks run one at a time, so plain dict writes are race-free.
         if event.kind != SCHED_SWITCH:
             self._last_events[event.rank] = event
+
+    def _emit_switch(self, nxt: SimProcess, ready: int) -> None:
+        """One ``sched.switch`` event per actual rank handover."""
+        if not self._obs.wants(SCHED_SWITCH):
+            return
+        self._obs.emit(
+            Event(
+                SCHED_SWITCH,
+                nxt.rank,
+                nxt.clock,
+                attrs={"from": self._last_dispatched, "ready": ready},
+            )
+        )
+
+    def _emit_crash(self, proc: SimProcess) -> None:
+        """One ``rank.crashed`` event per detected crash-stop failure."""
+        if not self._obs.wants(RANK_CRASHED):
+            return
+        self._obs.emit(
+            Event(
+                RANK_CRASHED,
+                proc.rank,
+                proc.clock,
+                attrs={"crash_at": proc._crash_at},
+            )
+        )
 
     def _rank_diagnostics(self, ranks: Iterable[int]) -> str:
         """Per-rank failure context: last obs event + registered state."""
@@ -499,15 +527,7 @@ class SimWorld:
         """
         proc._state = _State.DONE
         self.crashed.add(proc.rank)
-        if self._obs.enabled:
-            self._obs.emit(
-                Event(
-                    RANK_CRASHED,
-                    proc.rank,
-                    proc.clock,
-                    attrs={"crash_at": proc._crash_at},
-                )
-            )
+        self._emit_crash(proc)
         # Discard the partially formed sync point: its payload set can
         # never be completed, and every observer restarts it anyway.
         self._sync_payloads = {}
@@ -544,15 +564,8 @@ class SimWorld:
         else:
             nxt = min(ready, key=lambda p: (p.clock, p.rank))
         self._current = nxt.rank
-        if self._obs.enabled and nxt.rank != self._last_dispatched:
-            self._obs.emit(
-                Event(
-                    SCHED_SWITCH,
-                    nxt.rank,
-                    nxt.clock,
-                    attrs={"from": self._last_dispatched, "ready": len(ready)},
-                )
-            )
+        if nxt.rank != self._last_dispatched:
+            self._emit_switch(nxt, len(ready))
         self._last_dispatched = nxt.rank
         self._notify_rank_locked(nxt.rank)
 

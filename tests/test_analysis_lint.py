@@ -453,6 +453,122 @@ class TestRevocationHandlers:
         assert findings == []
 
 
+class TestGatedEventConstruction:
+    FIXTURE = Path(__file__).resolve().parent / "fixtures" / "buggy_lint"
+
+    def test_raw_event_flagged_in_hot_path_packages(self, tmp_path):
+        for pkg in ("core", "mpi", "rma", "runtime"):
+            findings = lint_snippet(
+                tmp_path,
+                f"repro/{pkg}/x.py",
+                """
+                from repro.obs import RMA_GET, Event
+                def issue(bus, rank, clock):
+                    bus.emit(Event(RMA_GET, rank, clock))
+                """,
+            )
+            assert rules_of(findings) == ["ANL014"], pkg
+            (tmp_path / "repro" / pkg / "x.py").unlink()
+
+    def test_emit_helper_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/rma/x.py",
+            """
+            from repro.obs import RMA_GET, Event
+            class W:
+                def _emit(self, kind, rank, clock):
+                    if not self.obs.wants(kind):
+                        return
+                    self.obs.emit(Event(kind, rank, clock))
+                def _emit_access(self, rank, clock):
+                    self.obs.emit(Event(RMA_GET, rank, clock))
+            """,
+        )
+        assert findings == []
+
+    def test_nested_function_inside_helper_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/rma/x.py",
+            """
+            from repro.obs import RMA_GET, Event
+            def _emit_batch(bus, ops):
+                def build(op):
+                    return Event(RMA_GET, op.rank, op.clock)
+                for op in ops:
+                    bus.emit(build(op))
+            """,
+        )
+        assert findings == []
+
+    def test_helper_nested_in_op_function_counts(self, tmp_path):
+        # the gate is lexical: a _emit* closure defined inside an op body
+        # is still a gated helper; the op body itself is not
+        findings = lint_snippet(
+            tmp_path,
+            "repro/core/x.py",
+            """
+            from repro.obs import RMA_GET, Event
+            def serve(bus, rank, clock):
+                def _emit_hit():
+                    bus.emit(Event(RMA_GET, rank, clock))
+                _emit_hit()
+                return Event(RMA_GET, rank, clock)
+            """,
+        )
+        assert rules_of(findings) == ["ANL014"]
+        assert len(findings) == 1
+
+    def test_attribute_spellings_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/runtime/x.py",
+            """
+            from repro import obs
+            def tick(bus, rank, clock):
+                bus.emit(obs.Event("sched.switch", rank, clock))
+            """,
+        )
+        assert "ANL014" in rules_of(findings)
+
+    def test_threading_event_unflagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/runtime/x.py",
+            "import threading\ndone = threading.Event()\n",
+        )
+        assert findings == []
+
+    def test_cold_packages_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/bench/x.py",
+            """
+            from repro.obs import RMA_GET, Event
+            def replay(bus, rank, clock):
+                bus.emit(Event(RMA_GET, rank, clock))
+            """,
+        )
+        assert findings == []
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "repro/rma/x.py",
+            """
+            from repro.obs import RMA_GET, Event
+            def issue(bus, rank, clock):
+                bus.emit(Event(RMA_GET, rank, clock))  # analysis: allow(ANL014)
+            """,
+        )
+        assert findings == []
+
+    def test_seeded_fixture_still_flagged(self):
+        findings = run_lint([self.FIXTURE])
+        assert "ANL014" in rules_of(findings)
+
+
 class TestWalker:
     def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
         bad = "def f(x=[]):\n    return x\n"
@@ -483,7 +599,7 @@ class TestWalker:
 
 class TestDriver:
     def test_every_rule_has_a_description(self):
-        assert set(RULES) == {f"ANL{n:03d}" for n in range(14)}
+        assert set(RULES) == {f"ANL{n:03d}" for n in range(15)}
 
     def test_findings_sorted_and_rendered(self, tmp_path):
         findings = lint_snippet(

@@ -310,3 +310,57 @@ class TestNullSinkNoChange:
         with obs.capture():
             run(2, cached_get_program)
         assert constructed
+
+    def test_sinkless_run_builds_zero_events_across_op_kinds(
+        self, monkeypatch
+    ):
+        """Get, put, accumulate, flush, fence and epoch close all stay
+        allocation-free for telemetry when no sink is attached."""
+
+        def mixed_program(m):
+            win = make_window(m)
+            peer = (m.rank + 1) % m.size
+            buf = np.empty(256, np.uint8)
+            out = np.arange(256, dtype=np.uint8)
+            with win.lock_all_epoch():
+                win.get_blocking(buf, peer, 0)
+                win.put(out, peer, 0)
+                win.flush(peer)
+                win.flush_all()
+            win.fence()
+            win.fence()
+            return int(buf[0])
+
+        constructed = []
+        real_init = obs.Event.__init__
+
+        def counting_init(self, *a, **k):
+            constructed.append(1)
+            real_init(self, *a, **k)
+
+        monkeypatch.setattr(obs.Event, "__init__", counting_init)
+        run(2, mixed_program)
+        assert not constructed
+
+    def test_kind_gate_skips_unwanted_event_construction(self, monkeypatch):
+        """A sink subscribed to one kind must not force construction of
+        the kinds nobody consumes (bus.wants() gating, not just .enabled)."""
+        built = []
+        real_init = obs.Event.__init__
+
+        def counting_init(self, kind, *a, **k):
+            built.append(kind)
+            real_init(self, kind, *a, **k)
+
+        monkeypatch.setattr(obs.Event, "__init__", counting_init)
+        seen = []
+        sink = obs.CallbackSink(seen.append, kinds=(obs.CACHE_ACCESS,))
+        bus = obs.get_bus()
+        bus.attach(sink)
+        try:
+            run(2, cached_get_program)
+        finally:
+            bus.detach(sink)
+        assert built, "subscribed kind must still be emitted"
+        assert set(built) == {obs.CACHE_ACCESS}
+        assert [e.kind for e in seen] == built

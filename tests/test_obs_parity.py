@@ -1,0 +1,164 @@
+"""Obs-parity determinism suite (ISSUE 9 satellite).
+
+Runs LCC and Barnes-Hut under three telemetry configurations —
+
+  (a) no sinks attached (the zero-overhead path),
+  (b) an unbounded ring sink on the global bus,
+  (c) a full JSONL sink on the global bus,
+
+— and asserts that results, virtual times and stats snapshots are
+bit-identical across all three, and that the (b)/(c) event streams match
+the pre-refactor golden expectations committed in
+``tests/fixtures/obs_parity_golden.json``.
+
+The golden file is regenerated with::
+
+    PYTHONPATH=src:tests python -c \
+        "import test_obs_parity; test_obs_parity.write_golden()"
+
+but MUST only be regenerated when the event schema intentionally changes;
+a perf refactor that alters the captured stream is a bug by definition.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.apps import BarnesHutApp, LCCApp
+from repro.apps.cachespec import CacheSpec
+from repro.util import KiB
+
+GOLDEN_PATH = Path(__file__).parent / "fixtures" / "obs_parity_golden.json"
+
+SINK_MODES = ("none", "ring", "jsonl")
+
+
+def _spec() -> CacheSpec:
+    return CacheSpec.clampi_fixed(256, 256 * KiB)
+
+
+def _run_lcc():
+    app = LCCApp(scale=6, edge_factor=8, seed=3)
+    return app.run(4, _spec())
+
+
+def _run_bh():
+    app = BarnesHutApp(nbodies=96, seed=5, theta=0.5)
+    return app.run(4, _spec())
+
+
+WORKLOADS = {"lcc": _run_lcc, "barnes_hut": _run_bh}
+
+
+def _result_array(run) -> np.ndarray:
+    return run.lcc if hasattr(run, "lcc") else run.forces
+
+
+def _canon_stats(run) -> list[dict]:
+    # per-rank stats snapshots, JSON-canonicalised (sorted keys)
+    return json.loads(json.dumps(run.cache_stats, sort_keys=True))
+
+
+def _stream_summary(lines: list[str]) -> dict:
+    """Canonical digest of a captured event stream.
+
+    Window ids come from a process-global counter, so remap each distinct
+    id to its first-seen ordinal; ``attrs.origin`` holds a buffer identity
+    (``id()``, a memory address subject to allocator reuse) and is masked
+    out.  Everything else stays byte-strict.
+    """
+    kinds: dict[str, int] = {}
+    win_map: dict = {}
+    canon: list[str] = []
+    for ln in lines:
+        rec = json.loads(ln)
+        kinds[rec["kind"]] = kinds.get(rec["kind"], 0) + 1
+        if rec.get("win") is not None:
+            rec["win"] = win_map.setdefault(rec["win"], len(win_map))
+        attrs = rec.get("attrs") or {}
+        if "origin" in attrs:
+            attrs["origin"] = None
+        canon.append(json.dumps(rec, sort_keys=True))
+    digest = hashlib.sha256("\n".join(canon).encode("utf-8")).hexdigest()
+    return {"count": len(lines), "kinds": kinds, "sha256": digest}
+
+
+def run_workload(name: str, sink_mode: str) -> dict:
+    """Run one workload under one sink configuration; return a snapshot."""
+    fn = WORKLOADS[name]
+    if sink_mode == "none":
+        run = fn()
+        stream = None
+    elif sink_mode == "ring":
+        with obs.capture(obs.RingBufferSink(capacity=None)) as sink:
+            run = fn()
+        stream = [e.to_json() for e in sink]
+    elif sink_mode == "jsonl":
+        buf = io.StringIO()
+        with obs.capture(obs.JSONLSink(buf)):
+            run = fn()
+        stream = buf.getvalue().splitlines()
+    else:  # pragma: no cover - guarded by SINK_MODES
+        raise ValueError(sink_mode)
+
+    arr = np.ascontiguousarray(_result_array(run))
+    snap = {
+        "result_sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+        "elapsed": repr(run.elapsed),
+        "makespan": repr(run.makespan),
+        "stats": _canon_stats(run),
+    }
+    if stream is not None:
+        snap["stream"] = _stream_summary(stream)
+    return snap
+
+
+def write_golden() -> None:
+    """Regenerate the committed golden file (schema changes only!)."""
+    golden = {}
+    for name in WORKLOADS:
+        golden[name] = {mode: run_workload(name, mode) for mode in SINK_MODES}
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestObsParity:
+    def test_sink_modes_bit_identical(self, name, golden):
+        """(a)/(b)/(c) agree on results, virtual times and stats."""
+        snaps = {mode: run_workload(name, mode) for mode in SINK_MODES}
+        base = snaps["none"]
+        for mode in ("ring", "jsonl"):
+            s = snaps[mode]
+            assert s["result_sha256"] == base["result_sha256"], mode
+            assert s["elapsed"] == base["elapsed"], mode
+            assert s["makespan"] == base["makespan"], mode
+            assert s["stats"] == base["stats"], mode
+        # ... and against the committed pre-refactor goldens.
+        for mode in SINK_MODES:
+            g = golden[name][mode]
+            s = snaps[mode]
+            assert s["result_sha256"] == g["result_sha256"], mode
+            assert s["elapsed"] == g["elapsed"], mode
+            assert s["makespan"] == g["makespan"], mode
+            assert s["stats"] == g["stats"], mode
+
+    def test_streams_match_pre_refactor_golden(self, name, golden):
+        """(b)/(c) event streams are unchanged vs the pre-refactor capture."""
+        ring = run_workload(name, "ring")["stream"]
+        jsonl = run_workload(name, "jsonl")["stream"]
+        assert ring == jsonl  # identical capture regardless of sink type
+        assert ring == golden[name]["ring"]["stream"]
+        assert jsonl == golden[name]["jsonl"]["stream"]
