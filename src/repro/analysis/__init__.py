@@ -52,7 +52,9 @@ and the lint rule list.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator, TypeVar
+
+_T = TypeVar("_T")
 
 from repro.analysis.diagnostics import Diagnostic, Related, Rule
 from repro.analysis.epochs import EpochTracker
@@ -94,6 +96,7 @@ __all__ = [
     "Violation",
     "ViolationKind",
     "run_lint",
+    "run_sanitized",
     "run_verify",
     "sanitize",
 ]
@@ -217,6 +220,22 @@ class Sanitizer(Sink):
         lines.append("")
         lines.extend(v.describe() for v in self.violations)
         return "\n".join(lines) + "\n"
+
+
+def run_sanitized(
+    fn: "Callable[[], _T]", bus: EventBus | None = None
+) -> "tuple[_T, list[Violation]]":
+    """Run ``fn`` under a report-mode sanitizer; return its result + findings.
+
+    The library face of the checker for harnesses that need the verdict as
+    *data* rather than as a raised error (the transparency fuzzer's oracle
+    matrix treats "sanitizer found something" as one more comparable
+    observable).  Nothing raises: end-of-scope audits (epoch leaks) are
+    folded into the returned list, and the bus is restored on exit.
+    """
+    with sanitize(strict=False, bus=bus) as san:
+        result = fn()
+    return result, san.violations
 
 
 @contextmanager

@@ -70,7 +70,40 @@ def run_perfsmoke() -> dict[str, Any]:
         }
     figures.update(_lcc_pair())
     total = round(sum(e["wall_s"] for e in figures.values()), 4)
-    return {"figures": figures, "total_wall_s": total}
+    return {
+        "figures": figures,
+        "total_wall_s": total,
+        "fuzz_throughput": _fuzz_throughput(),
+    }
+
+
+#: verify-fuzz cases timed by the smoke run (informational, non-gating)
+FUZZ_SMOKE_CASES = 3
+
+
+def _fuzz_throughput() -> dict[str, float]:
+    """Time a few transparency-fuzzer cases (``python -m repro.verify``).
+
+    Informational only: the entry lives outside ``figures`` so neither
+    the wall-clock total nor the virtual-time drift check gates on it —
+    it just tracks how much oracle-matrix coverage a CI minute buys
+    (``verify-fuzz`` budgets rely on this staying roughly stable).
+    """
+    from repro.verify.oracle import run_matrix
+    from repro.verify.workload import generate
+
+    cells = 0
+    t0 = time.perf_counter()
+    for seed in range(FUZZ_SMOKE_CASES):
+        report = run_matrix(generate(seed))
+        cells += report.cells_run
+    wall = time.perf_counter() - t0
+    return {
+        "cases": FUZZ_SMOKE_CASES,
+        "cells": cells,
+        "wall_s": round(wall, 4),
+        "cases_per_s": round(FUZZ_SMOKE_CASES / wall, 3) if wall > 0 else 0.0,
+    }
 
 
 def check_regression(
@@ -131,6 +164,12 @@ def main(argv: list[str]) -> int:
             f"virtual {entry['virtual_s']:.6e}s"
         )
     print(f"{'total':12s} wall {result['total_wall_s']:8.3f}s -> {args.out}")
+    fuzz = result["fuzz_throughput"]
+    print(
+        f"{'fuzz':12s} {fuzz['cases']} cases / {fuzz['cells']} cells in "
+        f"{fuzz['wall_s']:.1f}s = {fuzz['cases_per_s']:.2f} cases/s "
+        "(informational, non-gating)"
+    )
 
     if args.baseline:
         problems = check_regression(

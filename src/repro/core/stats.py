@@ -218,6 +218,15 @@ class CacheStats:
             **self.total.as_dict(),
         }
 
+    def conservation_violations(self) -> list[str]:
+        """Broken counter identities of the cumulative view (empty = OK).
+
+        Convenience wrapper over :func:`conservation_violations` for an
+        attached stats object — the transparency fuzzer's oracle calls
+        this after every run.
+        """
+        return conservation_violations(self.snapshot())
+
     def breakdown(self) -> dict[str, float]:
         """Fig. 13/16/18-style normalised access breakdown.
 
@@ -226,3 +235,72 @@ class CacheStats:
         """
         t = self.total
         return {a.value: t.ratio(getattr(t, a.value)) for a in AccessType}
+
+
+# ---------------------------------------------------------------------------
+# conservation identities (the transparency fuzzer's stats oracle)
+# ---------------------------------------------------------------------------
+def conservation_violations(snapshot: "dict[str, int | str]") -> list[str]:
+    """Counter identities every schema-v4 snapshot must satisfy.
+
+    Returns one human-readable string per broken identity (empty list =
+    conserved).  The identities are schema facts, not heuristics:
+
+    * every classified get is exactly one of the seven access classes:
+      ``gets == hit_full + hit_partial + hit_pending + direct +
+      conflicting + capacity + failing`` (bypass gets are never counted);
+    * every eviction has exactly one trigger:
+      ``evictions == capacity_evictions + conflict_evictions``;
+    * degraded, admission-rejected and failed-target gets are all
+      recorded as FAILING accesses, so their sum can never exceed
+      ``failing``;
+    * recovered gets are served as full hits: ``recovered_gets <=
+      hit_full``;
+    * no counter is ever negative.
+    """
+    out: list[str] = []
+
+    def n(key: str) -> int:
+        v = snapshot.get(key, 0)
+        return int(v) if not isinstance(v, str) else 0
+
+    for key, value in snapshot.items():
+        if key in ("schema_version", "policy"):
+            continue
+        if isinstance(value, (int, float)) and value < 0:
+            out.append(f"negative counter: {key} = {value}")
+
+    access_sum = sum(
+        n(k)
+        for k in (
+            "hit_full",
+            "hit_partial",
+            "hit_pending",
+            "direct",
+            "conflicting",
+            "capacity",
+            "failing",
+        )
+    )
+    if n("gets") != access_sum:
+        out.append(
+            f"gets ({n('gets')}) != sum of access classes ({access_sum})"
+        )
+    ev_sum = n("capacity_evictions") + n("conflict_evictions")
+    if n("evictions") != ev_sum:
+        out.append(
+            f"evictions ({n('evictions')}) != capacity+conflict ({ev_sum})"
+        )
+    failing_floor = (
+        n("degraded_gets") + n("admission_rejects") + n("failed_target_gets")
+    )
+    if failing_floor > n("failing"):
+        out.append(
+            "degraded_gets + admission_rejects + failed_target_gets "
+            f"({failing_floor}) > failing ({n('failing')})"
+        )
+    if n("recovered_gets") > n("hit_full"):
+        out.append(
+            f"recovered_gets ({n('recovered_gets')}) > hit_full ({n('hit_full')})"
+        )
+    return out

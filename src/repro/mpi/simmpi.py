@@ -15,7 +15,7 @@ facade bundling the world communicator, the performance model and the raw
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.mpi.comm import Communicator
@@ -101,11 +101,15 @@ class SimMPI:
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         join_timeout: float = 30.0,
+        record_trace: bool = False,
+        trace: Sequence[int] | None = None,
     ):
         self.nprocs = nprocs
         self.schedule = schedule
         self.schedule_seed = schedule_seed
         self.join_timeout = join_timeout
+        self.record_trace = record_trace
+        self.trace = trace
         self.faults = faults
         self.retry = retry
         self.perf = perf or PerfModel.default(nprocs, ranks_per_node)
@@ -136,6 +140,8 @@ class SimMPI:
             seed=self.schedule_seed,
             join_timeout=self.join_timeout,
             crashes=crashes,
+            record_trace=self.record_trace,
+            trace=self.trace,
         )
         self._world = world
 
@@ -166,3 +172,15 @@ class SimMPI:
         if self._world is None:
             raise RuntimeError("no job has been run yet")
         return frozenset(self._world.crashed)
+
+    @property
+    def schedule_trace(self) -> list[int]:
+        """Dispatch order of the last run (requires ``record_trace=True``).
+
+        Feed it back as ``trace=`` with ``schedule="trace"`` for an
+        interleaving-stable replay — see
+        :class:`repro.runtime.SimWorld` and ``docs/testing.md``.
+        """
+        if self._world is None:
+            raise RuntimeError("no job has been run yet")
+        return self._world.schedule_trace

@@ -215,7 +215,17 @@ class SimWorld:
     seeded-random READY process instead — virtual times are unaffected
     (clocks are per-rank and collectives take the max), but shared-state
     interleavings differ, which the test suite uses to verify that programs
-    do not depend on scheduling order.
+    do not depend on scheduling order.  ``schedule="trace"`` replays a
+    previously recorded dispatch order (``trace=``): at each switch the
+    next recorded rank is run if it is READY, falling back to the
+    deterministic rule otherwise — the interleaving-stable replay mode the
+    transparency fuzzer's shrinker uses (a shrunk program has fewer sync
+    points, so re-running the *seed* of a random schedule would explore a
+    different interleaving; replaying the *trace* pins the surviving
+    ranks to their original relative order).
+
+    ``record_trace=True`` appends every dispatched rank to
+    :attr:`schedule_trace`, which can be fed back as ``trace=``.
     """
 
     def __init__(
@@ -226,11 +236,15 @@ class SimWorld:
         join_timeout: float = 30.0,
         wakeup: str = "targeted",
         crashes: Mapping[int, float] | None = None,
+        record_trace: bool = False,
+        trace: Sequence[int] | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
-        if schedule not in ("deterministic", "random"):
+        if schedule not in ("deterministic", "random", "trace"):
             raise ValueError(f"unknown schedule: {schedule}")
+        if schedule == "trace" and trace is None:
+            raise ValueError('schedule="trace" requires a recorded trace')
         if wakeup not in ("targeted", "broadcast"):
             raise ValueError(f"unknown wakeup mode: {wakeup}")
         if join_timeout <= 0:
@@ -247,6 +261,11 @@ class SimWorld:
         self._schedule = schedule
         self._wakeup = wakeup
         self._rng = random.Random(seed)
+        #: dispatch order of this run (appended only when record_trace)
+        self.schedule_trace: list[int] = []
+        self._record_trace = record_trace
+        self._trace = list(trace) if trace is not None else None
+        self._trace_pos = 0
         self.nprocs = nprocs
         self._procs = [SimProcess(self, r) for r in range(nprocs)]
         #: resolved crash plan ({rank: virtual death time}); empty = no crashes
@@ -561,13 +580,39 @@ class SimWorld:
             return
         if self._schedule == "random":
             nxt = ready[self._rng.randrange(len(ready))]
+        elif self._schedule == "trace":
+            nxt = self._trace_pick(ready)
         else:
             nxt = min(ready, key=lambda p: (p.clock, p.rank))
+        if self._record_trace:
+            self.schedule_trace.append(nxt.rank)
         self._current = nxt.rank
         if nxt.rank != self._last_dispatched:
             self._emit_switch(nxt, len(ready))
         self._last_dispatched = nxt.rank
         self._notify_rank_locked(nxt.rank)
+
+    def _trace_pick(self, ready: list[SimProcess]) -> SimProcess:
+        """Next recorded rank if READY; deterministic rule otherwise.
+
+        The cursor only advances past entries that were actually honoured
+        or that can never be honoured again (DONE ranks), so a shrunk
+        program — whose surviving ranks reach fewer sync points — still
+        consumes the trace in order instead of desynchronising after the
+        first divergence.
+        """
+        ready_ranks = {p.rank: p for p in ready}
+        while self._trace is not None and self._trace_pos < len(self._trace):
+            want = self._trace[self._trace_pos]
+            picked = ready_ranks.get(want)
+            if picked is not None:
+                self._trace_pos += 1
+                return picked
+            if 0 <= want < self.nprocs and self._procs[want]._state is _State.DONE:
+                self._trace_pos += 1  # never runnable again: skip the entry
+                continue
+            break  # recorded rank is blocked right now: fall back this switch
+        return min(ready, key=lambda p: (p.clock, p.rank))
 
     def _sync(self, proc: SimProcess, payload: Any, extra_time: float) -> list[Any]:
         with self._cond:
@@ -622,10 +667,16 @@ class SimWorld:
                     proc._state = _State.DONE
                     self._notify_everyone_locked()
                     raise _Abort()
-                if proc.rank in self._revoke_unobserved:
-                    # A participant died while we were blocked here: the
-                    # detector flipped us back to READY — queue for our
-                    # turn, then surface the revocation to the program.
+                if proc.rank in self._revoke_unobserved and self._sync_gen == gen:
+                    # A participant died while we were blocked in a sync
+                    # that had NOT yet committed: the detector flipped us
+                    # back to READY — queue for our turn, then surface the
+                    # revocation to the program.  If the sync generation
+                    # already advanced, the barrier committed before the
+                    # crash: it must complete for *every* participant
+                    # (ranks that resumed earlier already treated it as
+                    # successful), so we return normally and the entry
+                    # check surfaces the revocation at our next sync.
                     self._rank_conds[proc.rank].wait_for(
                         lambda: self._current == proc.rank
                         or self._failure is not None

@@ -1,0 +1,69 @@
+"""``repro.verify`` — the transparency fuzzer.
+
+CLaMPI's headline contract is *transparency*: a caching-enabled window
+must be observably indistinguishable from a plain MPI-3 RMA window
+(PAPER.md §1).  This package verifies that claim adversarially instead
+of by hand-written goldens:
+
+1. :mod:`repro.verify.workload` **generates** seeded random RMA programs
+   — a :class:`WorkloadSpec` grammar over epochs (lock / lock_all /
+   fence / PSCW), op mixes (get / put / accumulate / get_batch / flush)
+   and datatypes, constrained by a validity model (single-writer
+   regions, flush-delimited segments, barrier-separated phases) so a
+   *valid* spec is race-free by construction and every implementation
+   must produce bit-identical results;
+2. :mod:`repro.verify.runner` **executes** one spec on one cell of the
+   oracle matrix — an implementation (plain ``Window``, every registered
+   eviction policy of ``CachedWindow``, the ``baselines.block_cache``
+   strawman, or a deliberately broken impl for self-tests) crossed with
+   a schedule (``deterministic`` / ``random``) and a fault plan (none /
+   transient / crash) — returning digests, virtual clocks, stats
+   snapshots, cache-event counts and sanitizer findings;
+3. :mod:`repro.verify.oracle` **compares** the cells: bit-identical
+   application results vs the plain reference, bit-identical digests
+   *and* virtual clocks across schedules, stats-conservation identities
+   (:func:`repro.core.stats.conservation_violations`), cache.evict /
+   cache.admit event counts reconciling with the schema-v4 counters,
+   and a clean sanitizer run;
+4. :mod:`repro.verify.shrink` **minimises** any failing spec with a
+   delta-debugging loop (drop ops → truncate batches → shrink sizes →
+   collapse ranks) while re-validating every candidate;
+5. :mod:`repro.verify.reprofile` **serialises** failures as JSON repro
+   files, replayable via ``python -m repro.verify replay <file>`` and
+   committed to ``tests/fixtures/verify_corpus/`` as regressions.
+
+CLI (see ``docs/testing.md``)::
+
+    python -m repro.verify fuzz --cases 40 --budget 120s
+    python -m repro.verify replay repro.json
+    python -m repro.verify corpus tests/fixtures/verify_corpus
+"""
+
+from __future__ import annotations
+
+from repro.verify.workload import Op, Phase, WorkloadSpec, generate, validate
+from repro.verify.runner import Cell, RunResult, run_cell
+from repro.verify.oracle import Finding, MatrixConfig, MatrixReport, run_matrix
+from repro.verify.shrink import ShrinkResult, shrink
+from repro.verify.reprofile import Repro, load_repro, replay, save_repro
+
+__all__ = [
+    "Cell",
+    "Finding",
+    "MatrixConfig",
+    "MatrixReport",
+    "Op",
+    "Phase",
+    "Repro",
+    "RunResult",
+    "ShrinkResult",
+    "WorkloadSpec",
+    "generate",
+    "load_repro",
+    "replay",
+    "run_cell",
+    "run_matrix",
+    "save_repro",
+    "shrink",
+    "validate",
+]

@@ -1,0 +1,128 @@
+"""JSON repro files: serialized failures and corpus regressions.
+
+A repro file carries a complete :class:`WorkloadSpec` plus an
+*expectation*:
+
+* ``expect: "fail"`` — a shrunk failing case.  ``finding`` records the
+  original oracle finding (kind + cell); replay runs the reduced matrix
+  of that finding (:func:`repro.verify.oracle.config_for_finding`) and
+  succeeds iff the same failure family reproduces;
+* ``expect: "pass"`` — a corpus regression.  Replay runs the matrix
+  (the stored ``matrix`` overrides, or the full default) and succeeds
+  iff the oracle stays clean — the committed corpus under
+  ``tests/fixtures/verify_corpus/`` uses this form for cases that
+  *used* to fail a historical bug class.
+
+Format versioned via ``format``; loaders reject unknown majors.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.verify.oracle import (
+    Finding,
+    MatrixConfig,
+    MatrixReport,
+    config_for_finding,
+    matches_finding,
+    run_matrix,
+)
+from repro.verify.workload import WorkloadSpec
+
+REPRO_FORMAT = 1
+
+
+def _config_to_dict(config: MatrixConfig) -> dict[str, Any]:
+    return {
+        "policies": list(config.policies) if config.policies is not None else None,
+        "include_plain": config.include_plain,
+        "include_block": config.include_block,
+        "extra_impls": list(config.extra_impls),
+        "fault_kinds": list(config.fault_kinds),
+        "random_seeds": list(config.random_seeds),
+        "fault_seed": config.fault_seed,
+        "crash_frac": config.crash_frac,
+        "sanitize_faulty": config.sanitize_faulty,
+    }
+
+
+def _config_from_dict(d: dict[str, Any]) -> MatrixConfig:
+    return MatrixConfig(
+        policies=tuple(d["policies"]) if d.get("policies") is not None else None,
+        include_plain=bool(d.get("include_plain", True)),
+        include_block=bool(d.get("include_block", True)),
+        extra_impls=tuple(d.get("extra_impls", ())),
+        fault_kinds=tuple(d.get("fault_kinds", ("none", "transient", "crash"))),
+        random_seeds=tuple(d.get("random_seeds", (1,))),
+        fault_seed=int(d.get("fault_seed", 1)),
+        crash_frac=float(d.get("crash_frac", 0.45)),
+        sanitize_faulty=bool(d.get("sanitize_faulty", False)),
+    )
+
+
+@dataclass
+class Repro:
+    """One replayable verification case (failure repro or regression)."""
+
+    spec: WorkloadSpec
+    expect: str = "pass"                    #: "pass" | "fail"
+    finding: Finding | None = None          #: original failure (expect=fail)
+    matrix: MatrixConfig | None = None      #: matrix override (expect=pass)
+    note: str = ""                          #: human context (bug class, PR, ...)
+
+    def __post_init__(self) -> None:
+        if self.expect not in ("pass", "fail"):
+            raise ValueError(f"expect must be pass|fail, got {self.expect!r}")
+        if self.expect == "fail" and self.finding is None:
+            raise ValueError("a fail repro needs the original finding")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": REPRO_FORMAT,
+            "expect": self.expect,
+            "note": self.note,
+            "finding": self.finding.to_dict() if self.finding else None,
+            "matrix": _config_to_dict(self.matrix) if self.matrix else None,
+            "spec": self.spec.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Repro":
+        fmt = int(d.get("format", 0))
+        if fmt != REPRO_FORMAT:
+            raise ValueError(
+                f"unsupported repro format {fmt} (this build reads "
+                f"{REPRO_FORMAT})"
+            )
+        return cls(
+            spec=WorkloadSpec.from_dict(d["spec"]),
+            expect=d.get("expect", "pass"),
+            finding=Finding.from_dict(d["finding"]) if d.get("finding") else None,
+            matrix=_config_from_dict(d["matrix"]) if d.get("matrix") else None,
+            note=d.get("note", ""),
+        )
+
+
+def save_repro(path: str | Path, repro: Repro) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(repro.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: str | Path) -> Repro:
+    return Repro.from_dict(json.loads(Path(path).read_text()))
+
+
+def replay(repro: Repro) -> tuple[bool, MatrixReport]:
+    """Re-run a repro; returns (expectation met, full report)."""
+    if repro.expect == "fail":
+        assert repro.finding is not None
+        config = config_for_finding(repro.finding, repro.matrix or MatrixConfig())
+        report = run_matrix(repro.spec, config)
+        return matches_finding(report.findings, repro.finding), report
+    report = run_matrix(repro.spec, repro.matrix or MatrixConfig())
+    return report.ok, report

@@ -1,0 +1,288 @@
+"""Delta-debugging minimisation of a failing workload.
+
+Given a spec and a ``fails(spec) -> bool`` predicate (built by the
+fuzzer from the reduced oracle matrix of the original finding), the
+shrinker runs four greedy passes to a fixpoint:
+
+1. **drop ops** — classic ddmin over the flat list of op sites,
+   removing exponentially-shrinking chunks, then singles;
+2. **truncate batches** — ``get_batch`` ops lose trailing elements;
+3. **shrink sizes** — each op's ``nbytes`` steps down toward one
+   element;
+4. **collapse ranks** — remove the highest removable rank, remapping
+   targets, regions and lock targets of the survivors.
+
+Every candidate is re-validated (:func:`repro.verify.workload.validate`)
+before evaluation: dropping a ``flush`` can merge two segments into a
+now-conflicting one, and such candidates are skipped, not evaluated —
+the shrunk spec is always a *valid* program whose failure is a real
+transparency violation, never an artifact of an invalid workload.
+
+Evaluation is budgeted (``max_evals``); the shrinker returns the best
+spec found when the budget runs out, so a slow oracle still yields a
+useful (if not minimal) repro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+from repro.verify.workload import Op, Phase, WorkloadSpec, validate
+
+#: one op site: (phase index, rank, op index)
+Site = tuple[int, int, int]
+
+
+@dataclass
+class ShrinkResult:
+    spec: WorkloadSpec
+    evals: int          #: how many times the predicate ran
+    improved: bool      #: did any pass shrink the original spec?
+
+
+class _Budget:
+    def __init__(self, fails: Callable[[WorkloadSpec], bool], max_evals: int):
+        self._fails = fails
+        self.max_evals = max_evals
+        self.evals = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.evals >= self.max_evals
+
+    def check(self, spec: WorkloadSpec) -> bool:
+        """Validity-gated predicate evaluation."""
+        if self.exhausted or validate(spec):
+            return False
+        self.evals += 1
+        return self._fails(spec)
+
+
+def shrink(
+    spec: WorkloadSpec,
+    fails: Callable[[WorkloadSpec], bool],
+    *,
+    max_evals: int = 250,
+) -> ShrinkResult:
+    """Minimise ``spec`` while ``fails`` keeps returning True."""
+    budget = _Budget(fails, max_evals)
+    best = spec
+    improved = False
+    while not budget.exhausted:
+        round_best = best
+        round_best = _pass_drop_ops(round_best, budget)
+        round_best = _pass_truncate_batches(round_best, budget)
+        round_best = _pass_shrink_sizes(round_best, budget)
+        round_best = _pass_collapse_ranks(round_best, budget)
+        if round_best == best:
+            break
+        best = round_best
+        improved = True
+    return ShrinkResult(spec=best, evals=budget.evals, improved=improved)
+
+
+# ---------------------------------------------------------------------------
+# spec surgery helpers
+# ---------------------------------------------------------------------------
+def _sites(spec: WorkloadSpec) -> list[Site]:
+    return [
+        (pi, r, oi)
+        for pi, phase in enumerate(spec.phases)
+        for r, rank_ops in enumerate(phase.ops)
+        for oi in range(len(rank_ops))
+    ]
+
+
+def _without_sites(spec: WorkloadSpec, drop: Iterable[Site]) -> WorkloadSpec:
+    dropped = set(drop)
+    phases: list[Phase] = []
+    for pi, phase in enumerate(spec.phases):
+        ops = tuple(
+            tuple(
+                op
+                for oi, op in enumerate(rank_ops)
+                if (pi, r, oi) not in dropped
+            )
+            for r, rank_ops in enumerate(phase.ops)
+        )
+        if any(ops):  # drop phases emptied entirely
+            phases.append(replace(phase, ops=ops))
+    return replace(spec, phases=tuple(phases))
+
+
+def _replace_op(
+    spec: WorkloadSpec, site: Site, new_op: Op
+) -> WorkloadSpec:
+    pi, r, oi = site
+    phase = spec.phases[pi]
+    rank_ops = list(phase.ops[r])
+    rank_ops[oi] = new_op
+    ops = tuple(
+        tuple(rank_ops) if rr == r else phase.ops[rr]
+        for rr in range(len(phase.ops))
+    )
+    phases = list(spec.phases)
+    phases[pi] = replace(phase, ops=ops)
+    return replace(spec, phases=tuple(phases))
+
+
+# ---------------------------------------------------------------------------
+# passes
+# ---------------------------------------------------------------------------
+def _pass_drop_ops(spec: WorkloadSpec, budget: _Budget) -> WorkloadSpec:
+    """ddmin over op sites: exponentially shrinking chunks, then singles."""
+    sites = _sites(spec)
+    chunk = max(len(sites) // 2, 1)
+    while chunk >= 1 and not budget.exhausted:
+        i = 0
+        progress = False
+        while i < len(sites) and not budget.exhausted:
+            drop = sites[i : i + chunk]
+            candidate = _without_sites(spec, drop)
+            if candidate != spec and budget.check(candidate):
+                spec = candidate
+                sites = _sites(spec)
+                progress = True
+            else:
+                i += chunk
+        if chunk == 1 and not progress:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if progress else 0)
+    return spec
+
+
+def _pass_truncate_batches(spec: WorkloadSpec, budget: _Budget) -> WorkloadSpec:
+    for site in list(_sites(spec)):
+        pi, r, oi = site
+        if pi >= len(spec.phases) or oi >= len(spec.phases[pi].ops[r]):
+            continue
+        op = spec.phases[pi].ops[r][oi]
+        if op.kind != "get_batch":
+            continue
+        while len(op.batch) > 1 and not budget.exhausted:
+            shorter = replace(op, batch=op.batch[: len(op.batch) // 2] or op.batch[:1])
+            candidate = _replace_op(spec, site, shorter)
+            if budget.check(candidate):
+                spec, op = candidate, shorter
+            else:
+                break
+    return spec
+
+
+def _shrunk_sizes(op: Op) -> list[int]:
+    import numpy as np
+
+    isz = np.dtype(op.dtype).itemsize
+    out = []
+    n = op.nbytes
+    while n > isz:
+        n = max(isz, (n // 2) // isz * isz)
+        out.append(n)
+    return out
+
+
+def _pass_shrink_sizes(spec: WorkloadSpec, budget: _Budget) -> WorkloadSpec:
+    for site in list(_sites(spec)):
+        pi, r, oi = site
+        if pi >= len(spec.phases) or oi >= len(spec.phases[pi].ops[r]):
+            continue
+        op = spec.phases[pi].ops[r][oi]
+        if op.kind in ("flush", "get_batch"):
+            continue
+        for n in _shrunk_sizes(op):
+            if budget.exhausted:
+                break
+            candidate = _replace_op(spec, site, replace(op, nbytes=n))
+            if budget.check(candidate):
+                spec = candidate
+                op = replace(op, nbytes=n)
+            else:
+                break
+    return spec
+
+
+def _pass_collapse_ranks(spec: WorkloadSpec, budget: _Budget) -> WorkloadSpec:
+    changed = True
+    while changed and spec.nprocs > 2 and not budget.exhausted:
+        changed = False
+        for victim in range(spec.nprocs - 1, -1, -1):
+            candidate = _drop_rank(spec, victim)
+            if candidate is not None and budget.check(candidate):
+                spec = candidate
+                changed = True
+                break
+    return spec
+
+
+def _drop_rank(spec: WorkloadSpec, victim: int) -> WorkloadSpec | None:
+    """``spec`` with rank ``victim`` removed (None if not expressible)."""
+    n = spec.nprocs
+    if n <= 2:
+        return None
+    spr = spec.slots_per_region
+
+    def map_rank(r: int) -> int | None:
+        if r == victim:
+            return None
+        return r - 1 if r > victim else r
+
+    def map_slot(s: int) -> int | None:
+        region, idx = divmod(s, spr)
+        if region == victim:
+            return None  # the victim's write region disappears
+        if region > victim:
+            region -= 1
+        return region * spr + idx
+
+    def map_op(op: Op) -> Op | None:
+        if op.kind == "flush":
+            t = None if op.target is None else map_rank(op.target)
+            if op.target is not None and t is None:
+                return None
+            return replace(op, target=t)
+        if op.kind == "get_batch":
+            batch = []
+            for t, s, nb in op.batch:
+                mt, ms = map_rank(t), map_slot(s)
+                if mt is None or ms is None:
+                    continue
+                batch.append((mt, ms, nb))
+            if not batch:
+                return None
+            return replace(op, batch=tuple(batch))
+        mt, ms = map_rank(op.target), map_slot(op.slot)
+        if mt is None or ms is None:
+            return None
+        return replace(op, target=mt, slot=ms)
+
+    phases: list[Phase] = []
+    for phase in spec.phases:
+        ops: list[tuple[Op, ...]] = []
+        for r, rank_ops in enumerate(phase.ops):
+            if r == victim:
+                continue
+            mapped = tuple(
+                m for m in (map_op(op) for op in rank_ops) if m is not None
+            )
+            ops.append(mapped)
+        lock_targets: tuple[int | None, ...] = ()
+        if phase.epoch == "lock":
+            lts: list[int | None] = []
+            for r, t in enumerate(phase.lock_targets):
+                if r == victim:
+                    continue
+                lts.append(None if t is None else map_rank(t))
+            # a rank whose lock target died keeps its (possibly empty)
+            # ops only if they can retarget — simplest sound move: drop
+            # the ops of ranks that lost their lock target
+            ops = [
+                o if lt is not None or not o else ()
+                for o, lt in zip(ops, lts)
+            ]
+            lock_targets = tuple(lts)
+        if any(ops):
+            phases.append(Phase(phase.epoch, tuple(ops), lock_targets))
+    if not phases:
+        return None
+    return replace(spec, nprocs=n - 1, phases=tuple(phases))

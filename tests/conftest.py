@@ -1,6 +1,15 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Determinism policy: tests never draw from global RNG state or the wall
+clock.  Randomness comes from the fixtures below — ``rng`` (one fixed
+stream, shared shape across tests) or ``seeded_rng`` (an independent
+stream per test, derived from the test's node id, so inserting a test
+or reordering a module never shifts another test's draws).
+"""
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -17,6 +26,18 @@ def perf4() -> PerfModel:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def seeded_rng(request) -> np.random.Generator:
+    """Per-test deterministic RNG: the seed is the test's node id.
+
+    Unlike ``rng`` (every test sees the same stream), each test gets its
+    own stream, stable across runs and insensitive to test ordering or
+    ``-k`` selection.
+    """
+    seed = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng(seed)
 
 
 def run_job(nprocs: int, program, *args, ranks_per_node: int = 1, **kwargs):

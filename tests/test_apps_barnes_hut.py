@@ -61,16 +61,14 @@ class TestOctree:
 
 
 class TestMortonOrder:
-    def test_is_permutation(self):
-        rng = np.random.default_rng(0)
-        pos = rng.random((100, 3))
+    def test_is_permutation(self, seeded_rng):
+        pos = seeded_rng.random((100, 3))
         order = morton_order(pos)
         assert sorted(order.tolist()) == list(range(100))
 
-    def test_locality(self):
+    def test_locality(self, seeded_rng):
         """Consecutive Morton positions are spatially close on average."""
-        rng = np.random.default_rng(1)
-        pos = rng.random((500, 3))
+        pos = seeded_rng.random((500, 3))
         order = morton_order(pos)
         sorted_pos = pos[order]
         consecutive = np.linalg.norm(np.diff(sorted_pos, axis=0), axis=1).mean()

@@ -100,3 +100,74 @@ class TestApplicationInvariance:
                 CacheSpec.fompi(), False,
             )
             assert np.array_equal(results[0][0], base.distances), f"seed {seed}"
+
+
+class TestCrashScheduleInvariance:
+    """Crash-stop runs must also be schedule-independent.
+
+    A planned crash fires at a *virtual* time, so which program point it
+    hits is fixed by the clocks, not by dispatch order: the surviving
+    forces, the per-rank virtual clocks and the crashed set must be
+    bit-identical under every interleaving (this pins the
+    barrier-atomicity rule — a sync that committed before the crash
+    completes for every participant under any dispatch order).
+    """
+
+    def test_barnes_hut_with_crash_identical_across_schedules(self):
+        from repro import clampi
+        from repro.apps import BarnesHutApp
+        from repro.apps.barnes_hut import _bh_rank_program
+        from repro.faults import FaultPlan, FaultRule
+
+        app = BarnesHutApp(nbodies=96, seed=11, theta=0.6)
+        spec = CacheSpec.clampi_fixed(256, 1 * MiB)
+        if spec.kind.value == "clampi":
+            spec = spec.with_mode(clampi.Mode.USER_DEFINED)
+        nprocs = 3
+        perf = PerfModel.spread(nprocs)
+
+        def run(schedule: str, seed: int, faults):
+            mpi = SimMPI(
+                nprocs=nprocs,
+                perf=perf,
+                faults=faults,
+                schedule=schedule,
+                schedule_seed=seed,
+            )
+            results = mpi.run(
+                _bh_rank_program, app.tree, app.pos, app.mass, app.theta,
+                spec, False, 1e-3,
+            )
+            forces = [None if r is None else r[2].copy() for r in results]
+            return forces, list(mpi.clocks), mpi.crashed, mpi.elapsed
+
+        # reference (no faults) fixes the makespan the crash time scales from
+        _, _, _, makespan = run("deterministic", 0, None)
+
+        def crash_plan():
+            return FaultPlan.of(
+                FaultRule(
+                    "crash",
+                    probability=1.0,
+                    ranks=(nprocs - 1,),
+                    t_start=0.45 * makespan,
+                ),
+                seed=5,
+            )
+
+        base_forces, base_clocks, base_crashed, _ = run(
+            "deterministic", 0, crash_plan()
+        )
+        assert base_crashed == {nprocs - 1}
+        assert base_forces[nprocs - 1] is None
+        assert any(f is not None for f in base_forces[:-1])
+
+        for seed in range(4):
+            forces, clocks, crashed, _ = run("random", seed, crash_plan())
+            assert crashed == base_crashed, f"seed {seed}"
+            assert clocks == base_clocks, f"seed {seed}"
+            for r, (got, want) in enumerate(zip(forces, base_forces)):
+                if want is None:
+                    assert got is None, f"seed {seed} rank {r}"
+                else:
+                    assert np.array_equal(got, want), f"seed {seed} rank {r}"
